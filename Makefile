@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race cover bench experiments fuzz fmt vet
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test ./internal/... -coverprofile=cover.out && go tool cover -func=cover.out | tail -1
+
+bench:
+	go test -bench=. -benchmem .
+
+# Regenerate every paper figure (writes experiments_1m.txt).
+experiments:
+	go run ./cmd/dynex-experiments -refs 1000000 | tee experiments_1m.txt
+
+fuzz:
+	go test -fuzz FuzzFSMInvariants -fuzztime 30s ./internal/core/
+	go test -fuzz FuzzFileReader -fuzztime 30s ./internal/trace/
+	go test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/trace/

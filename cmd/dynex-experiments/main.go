@@ -1,0 +1,79 @@
+// Command dynex-experiments regenerates the paper's evaluation: every
+// figure's table (and ASCII chart) is printed to stdout.
+//
+// Usage:
+//
+//	dynex-experiments                  # run everything at 1M refs/benchmark
+//	dynex-experiments -refs 2000000    # longer traces (paper used 10M)
+//	dynex-experiments -run fig03,fig05 # a subset
+//	dynex-experiments -list            # list experiment ids
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		refs     = flag.Int("refs", 1_000_000, "references collected per benchmark and stream kind")
+		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonMode = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
+		seed     = flag.Int64("seed", 0, "workload seed offset (sensitivity runs; 0 = the canonical suite)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	var runners []experiments.Runner
+	if *run == "all" {
+		runners = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			r, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dynex-experiments: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	w := experiments.NewWorkloads(experiments.Config{Refs: *refs, SeedOffset: *seed})
+	if *jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range runners {
+			res := r.Run(w)
+			if err := enc.Encode(map[string]any{
+				"id":     r.ID,
+				"title":  r.Title,
+				"refs":   *refs,
+				"result": res,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "dynex-experiments:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	fmt.Printf("Cache Replacement with Dynamic Exclusion (McFarling, ISCA 1992) — reproduction\n")
+	fmt.Printf("workload: synthetic SPEC89 suite, %d refs/benchmark/kind\n\n", *refs)
+	for _, r := range runners {
+		start := time.Now()
+		res := r.Run(w)
+		fmt.Printf("== %s: %s  (%.1fs)\n\n", r.ID, r.Title, time.Since(start).Seconds())
+		fmt.Println(res)
+	}
+}

@@ -1,0 +1,167 @@
+// Command dynex-sweep runs a parameter sweep — cache sizes × line sizes ×
+// policies over a chosen workload — and prints the miss rates as CSV for
+// downstream plotting.
+//
+// Examples:
+//
+//	dynex-sweep -bench gcc -sizes 4096,8192,16384 -lines 4,16 -policies dm,de,opt
+//	dynex-sweep -suite -kind data -sizes 8192 -policies dm,de > data.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/victim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynex-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchName = flag.String("bench", "gcc", "benchmark to sweep")
+		suite     = flag.Bool("suite", false, "sweep every benchmark in the suite")
+		kind      = flag.String("kind", "instr", "instr, data, or mixed")
+		refs      = flag.Int("refs", 500_000, "references per benchmark")
+		sizes     = flag.String("sizes", "4096,8192,16384,32768", "comma-separated cache sizes in bytes")
+		lines     = flag.String("lines", "4", "comma-separated line sizes in bytes")
+		policies  = flag.String("policies", "dm,de,opt", "comma-separated: dm, de, de-hashed, opt, lru2, lru4, victim")
+	)
+	flag.Parse()
+
+	sizeList, err := parseUints(*sizes)
+	if err != nil {
+		return fmt.Errorf("bad -sizes: %w", err)
+	}
+	lineList, err := parseUints(*lines)
+	if err != nil {
+		return fmt.Errorf("bad -lines: %w", err)
+	}
+	polList := strings.Split(*policies, ",")
+
+	var benches []spec.Benchmark
+	if *suite {
+		benches = spec.Suite()
+	} else {
+		b, ok := spec.ByName(*benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", *benchName)
+		}
+		benches = []spec.Benchmark{b}
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := w.Write([]string{"benchmark", "kind", "size", "line", "policy", "miss_rate", "misses", "accesses"}); err != nil {
+		return err
+	}
+	for _, b := range benches {
+		var stream []trace.Ref
+		switch *kind {
+		case "instr":
+			stream = b.Instr(*refs)
+		case "data":
+			stream = b.Data(*refs)
+		case "mixed":
+			stream = b.Mixed(*refs)
+		default:
+			return fmt.Errorf("unknown kind %q", *kind)
+		}
+		for _, size := range sizeList {
+			for _, line := range lineList {
+				for _, pol := range polList {
+					s, err := simulate(strings.TrimSpace(pol), stream, size, line)
+					if err != nil {
+						return err
+					}
+					rec := []string{
+						b.Name, *kind,
+						strconv.FormatUint(size, 10),
+						strconv.FormatUint(line, 10),
+						pol,
+						strconv.FormatFloat(s.MissRate(), 'f', 6, 64),
+						strconv.FormatUint(s.Misses, 10),
+						strconv.FormatUint(s.Accesses, 10),
+					}
+					if err := w.Write(rec); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// simulate runs one (policy, geometry) cell.
+func simulate(policy string, refs []trace.Ref, size, line uint64) (cache.Stats, error) {
+	geom := cache.DM(size, line)
+	if err := geom.Validate(); err != nil {
+		return cache.Stats{}, err
+	}
+	lastLine := line > 4
+	switch policy {
+	case "dm":
+		c := cache.MustDirectMapped(geom)
+		cache.RunRefs(c, refs)
+		return c.Stats(), nil
+	case "de":
+		c := core.Must(core.Config{Geometry: geom, Store: core.NewTableStore(true), UseLastLine: lastLine})
+		cache.RunRefs(c, refs)
+		return c.Stats(), nil
+	case "de-hashed":
+		c := core.Must(core.Config{
+			Geometry:    geom,
+			Store:       core.MustHashedStore(int(geom.Lines())*4, true),
+			UseLastLine: lastLine,
+		})
+		cache.RunRefs(c, refs)
+		return c.Stats(), nil
+	case "opt":
+		return opt.SimulateDM(refs, geom, lastLine), nil
+	case "lru2", "lru4":
+		g := geom
+		g.Ways = 2
+		if policy == "lru4" {
+			g.Ways = 4
+		}
+		c, err := cache.NewSetAssoc(g, cache.LRU, 1)
+		if err != nil {
+			return cache.Stats{}, err
+		}
+		cache.RunRefs(c, refs)
+		return c.Stats(), nil
+	case "victim":
+		c := victim.Must(geom, 4)
+		cache.RunRefs(c, refs)
+		return c.Stats(), nil
+	default:
+		return cache.Stats{}, fmt.Errorf("unknown policy %q", policy)
+	}
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+// Command dynex simulates a single cache configuration over a workload
+// and prints the resulting statistics — the interactive counterpart of
+// the batch experiment driver.
+//
+// Examples:
+//
+//	dynex -bench gcc -size 32768 -line 4 -policy de
+//	dynex -bench li -kind data -policy victim -refs 2000000
+//	dynex -pattern within-loop -policy dm
+//	dynex -bench spice -policy de -l2 131072 -strategy assume-miss
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/opt"
+	"repro/internal/patterns"
+	"repro/internal/spec"
+	"repro/internal/stream"
+	"repro/internal/trace"
+	"repro/internal/victim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynex:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchName = flag.String("bench", "gcc", "benchmark name from the suite (see -benches)")
+		pattern   = flag.String("pattern", "", "run a §3 pattern instead of a benchmark: between-loops, loop-levels, within-loop, three-way")
+		traceFile = flag.String("trace", "", "replay a dynex trace file instead of a benchmark (see cmd/tracegen)")
+		kind      = flag.String("kind", "instr", "reference stream: instr, data, or mixed")
+		refs      = flag.Int("refs", 1_000_000, "number of references to simulate")
+		warmup    = flag.Int("warmup", 0, "references excluded from the reported stats (single-level policies)")
+		size      = flag.Uint64("size", 32<<10, "cache size in bytes")
+		line      = flag.Uint64("line", 4, "line size in bytes")
+		policy    = flag.String("policy", "de", "dm, de, de-hashed, opt, lru2, lru4, fifo2, victim, stream")
+		lastLine  = flag.Bool("lastline", false, "enable the last-line buffer (recommended for line > 4)")
+		sticky    = flag.Int("sticky", 1, "sticky levels (1 = the paper's FSM)")
+		l2        = flag.Uint64("l2", 0, "add a second level of this size (bytes); 0 = single level")
+		strategy  = flag.String("strategy", "assume-hit", "hit-last storage with -l2: assume-hit, assume-miss, hashed")
+		benches   = flag.Bool("benches", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *benches {
+		for _, p := range spec.SuiteParams() {
+			fmt.Printf("%-10s %s (%dKB code, %dKB data)\n", p.Name, p.Description, p.CodeKB, p.DataKB)
+		}
+		return nil
+	}
+
+	streamRefs, desc, err := loadRefs(*benchName, *pattern, *traceFile, *kind, *refs, *size)
+	if err != nil {
+		return err
+	}
+	geom := cache.DM(*size, *line)
+	fmt.Printf("workload: %s (%d refs)\ncache:    %s, policy %s\n\n", desc, len(streamRefs), geom, *policy)
+
+	if *l2 != 0 {
+		return runHierarchy(streamRefs, geom, *l2, *strategy, *lastLine, *sticky)
+	}
+	if *warmup < 0 || *warmup >= len(streamRefs) {
+		*warmup = 0
+	}
+
+	// report drives the simulator, optionally discarding a warmup prefix
+	// from the reported statistics.
+	report := func(sim cache.Simulator) cache.Stats {
+		cache.RunRefs(sim, streamRefs[:*warmup])
+		warm := sim.Stats()
+		cache.RunRefs(sim, streamRefs[*warmup:])
+		s := sim.Stats().Sub(warm)
+		if *warmup > 0 {
+			fmt.Printf("(steady state after %d warmup refs)\n", *warmup)
+		}
+		fmt.Println(s)
+		return s
+	}
+
+	switch *policy {
+	case "dm":
+		report(cache.MustDirectMapped(geom))
+	case "de", "de-hashed":
+		var store core.HitLastStore = core.NewTableStore(true)
+		if *policy == "de-hashed" {
+			store = core.MustHashedStore(int(geom.Lines())*4, true)
+		}
+		c := core.Must(core.Config{Geometry: geom, Store: store, UseLastLine: *lastLine, StickyMax: *sticky})
+		report(c)
+		ex := c.Extra()
+		fmt.Printf("exclusion: defenses=%d overrides=%d lastline-hits=%d\n",
+			ex.StickyDefenses, ex.HitLastOverrides, ex.LastLineHits)
+	case "opt":
+		fmt.Println(opt.SimulateDM(streamRefs, geom, *lastLine))
+	case "lru2", "lru4", "fifo2":
+		g := geom
+		g.Ways = 2
+		pol := cache.LRU
+		if *policy == "lru4" {
+			g.Ways = 4
+		}
+		if *policy == "fifo2" {
+			pol = cache.FIFO
+		}
+		c, err := cache.NewSetAssoc(g, pol, 1)
+		if err != nil {
+			return err
+		}
+		report(c)
+	case "victim":
+		c := victim.Must(geom, 4)
+		report(c)
+		fmt.Printf("victim hits: %d\n", c.Extra().VictimHits)
+	case "stream":
+		c := stream.Must(geom, 4)
+		report(c)
+		fmt.Printf("stream hits: %d\n", c.Extra().StreamHits)
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	return nil
+}
+
+// loadRefs builds the requested reference stream.
+func loadRefs(benchName, pattern, traceFile, kind string, n int, cacheSize uint64) ([]trace.Ref, string, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		var reader trace.Reader
+		fr, err := trace.NewFileReader(f)
+		switch {
+		case err == nil:
+			reader = fr
+		case err == trace.ErrBadMagic:
+			// Not a dynex trace: try the Dinero text format.
+			if _, err := f.Seek(0, 0); err != nil {
+				return nil, "", err
+			}
+			reader = trace.NewDinReader(f)
+		default:
+			return nil, "", err
+		}
+		refs, err := trace.Collect(reader, n)
+		if err != nil {
+			return nil, "", err
+		}
+		return refs, "trace " + traceFile, nil
+	}
+	if pattern != "" {
+		var s patterns.Spec
+		switch pattern {
+		case "between-loops":
+			s = patterns.BetweenLoops(10, 10)
+		case "loop-levels":
+			s = patterns.LoopLevels(10, 10)
+		case "within-loop":
+			s = patterns.WithinLoop(10)
+		case "three-way":
+			s = patterns.ThreeWay(10)
+		default:
+			return nil, "", fmt.Errorf("unknown pattern %q", pattern)
+		}
+		return s.Refs(0, cacheSize), "pattern " + s.Name, nil
+	}
+	b, ok := spec.ByName(benchName)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown benchmark %q (try -benches)", benchName)
+	}
+	switch kind {
+	case "instr":
+		return b.Instr(n), benchName + " instructions", nil
+	case "data":
+		return b.Data(n), benchName + " data", nil
+	case "mixed":
+		return b.Mixed(n), benchName + " mixed", nil
+	default:
+		return nil, "", fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+// runHierarchy drives a two-level system.
+func runHierarchy(refs []trace.Ref, l1 cache.Geometry, l2Size uint64, strategy string, lastLine bool, sticky int) error {
+	var st hierarchy.Strategy
+	switch strategy {
+	case "assume-hit":
+		st = hierarchy.AssumeHit
+	case "assume-miss":
+		st = hierarchy.AssumeMiss
+	case "hashed":
+		st = hierarchy.Hashed
+	case "baseline":
+		st = hierarchy.Baseline
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	sys, err := hierarchy.New(hierarchy.Config{
+		L1:          l1,
+		L2:          cache.DM(l2Size, l1.LineSize),
+		Strategy:    st,
+		UseLastLine: lastLine,
+		StickyMax:   sticky,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range refs {
+		sys.Access(r.Addr)
+	}
+	fmt.Printf("L1: %v\n", sys.L1Stats())
+	fmt.Printf("L2: %v\n", sys.L2Stats())
+	fmt.Printf("global L2 miss rate: %.4f%%\n", 100*sys.GlobalL2MissRate())
+	return nil
+}

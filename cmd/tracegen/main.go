@@ -1,0 +1,137 @@
+// Command tracegen writes a benchmark's reference stream to a compact
+// binary trace file (the dynex trace format of internal/trace), so
+// expensive workloads are generated once and replayed many times; with
+// -info it summarizes an existing trace instead.
+//
+// Examples:
+//
+//	tracegen -bench gcc -n 10000000 -o gcc.dynex
+//	tracegen -bench tomcatv -kind data -o tomcatv-data.dynex
+//	tracegen -info -o gcc.dynex
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchName = flag.String("bench", "gcc", "benchmark name from the suite")
+		kind      = flag.String("kind", "instr", "instr, data, or mixed")
+		n         = flag.Int("n", 1_000_000, "number of references")
+		out       = flag.String("o", "", "output (or, with -info, input) trace file; required")
+		format    = flag.String("format", "dynex", "output format: dynex (compact binary) or din (Dinero text)")
+		info      = flag.Bool("info", false, "summarize an existing trace file instead of generating")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-o is required")
+	}
+
+	if *info {
+		return summarize(*out)
+	}
+
+	b, ok := spec.ByName(*benchName)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", *benchName)
+	}
+	var r trace.Reader
+	switch *kind {
+	case "instr":
+		r = trace.OnlyInstr(b.Run())
+	case "data":
+		r = trace.OnlyData(b.Run())
+	case "mixed":
+		r = b.Run()
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var count uint64
+	switch *format {
+	case "dynex":
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			return err
+		}
+		count, err = trace.WriteAll(w, trace.Limit(r, *n))
+		if err != nil {
+			return err
+		}
+	case "din":
+		count, err = trace.WriteDin(f, trace.Limit(r, *n))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d references (%s %s) to %s (%d bytes, %.2f B/ref)\n",
+		count, *benchName, *kind, *out, st.Size(), float64(st.Size())/float64(count))
+	return nil
+}
+
+// summarize prints reference counts and the address ranges of a trace.
+func summarize(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		return err
+	}
+	var byKind [3]uint64
+	var minA, maxA uint64 = ^uint64(0), 0
+	total := uint64(0)
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		total++
+		byKind[ref.Kind]++
+		if ref.Addr < minA {
+			minA = ref.Addr
+		}
+		if ref.Addr > maxA {
+			maxA = ref.Addr
+		}
+	}
+	fmt.Printf("%s: %d references (I=%d L=%d S=%d)\n",
+		path, total, byKind[trace.Instr], byKind[trace.Load], byKind[trace.Store])
+	if total > 0 {
+		fmt.Printf("address range: %#x .. %#x\n", minA, maxA)
+	}
+	return nil
+}

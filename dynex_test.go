@@ -1,0 +1,120 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// The facade tests double as end-to-end integration tests: workload
+// generation → simulation → stats, entirely through the public API.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	bench, ok := repro.Benchmark("eqntott")
+	if !ok {
+		t.Fatal("eqntott missing")
+	}
+	refs := bench.Instr(50_000)
+	geom := repro.DM(4<<10, 4)
+
+	dm := repro.MustDirectMapped(geom)
+	repro.RunRefs(dm, refs)
+
+	de := repro.MustDynamicExclusion(repro.DEConfig{
+		Geometry: geom,
+		Store:    repro.NewHitLastTable(true),
+	})
+	repro.RunRefs(de, refs)
+
+	opt := repro.OptimalDM(refs, geom, false)
+
+	if dm.Stats().Accesses != uint64(len(refs)) || de.Stats().Accesses != uint64(len(refs)) {
+		t.Fatal("access counts wrong")
+	}
+	if opt.Misses > de.Stats().Misses {
+		t.Errorf("optimal (%d) beat by DE (%d)", opt.Misses, de.Stats().Misses)
+	}
+	if opt.Misses > dm.Stats().Misses {
+		t.Errorf("optimal (%d) beat by DM (%d)", opt.Misses, dm.Stats().Misses)
+	}
+}
+
+func TestFacadePatterns(t *testing.T) {
+	geom := repro.DM(1<<10, 4)
+	refs := repro.LoopLevels(10, 10).Refs(0, geom.Size)
+	de := repro.MustDynamicExclusion(repro.DEConfig{
+		Geometry: geom,
+		Store:    repro.NewHitLastTable(false),
+	})
+	repro.RunRefs(de, refs)
+	if de.Stats().Misses != 11 {
+		t.Errorf("loop-levels DE misses = %d, want 11", de.Stats().Misses)
+	}
+}
+
+func TestFacadeHierarchy(t *testing.T) {
+	sys, err := repro.NewHierarchy(repro.HierarchyConfig{
+		L1:       repro.DM(1<<10, 4),
+		L2:       repro.DM(4<<10, 4),
+		Strategy: repro.AssumeMiss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, _ := repro.Benchmark("tomcatv")
+	for _, r := range bench.Instr(20_000) {
+		sys.Access(r.Addr)
+	}
+	if sys.L2Stats().Accesses != sys.L1Stats().Misses {
+		t.Error("hierarchy plumbing broken")
+	}
+}
+
+func TestFacadeRelatedWorkBaselines(t *testing.T) {
+	geom := repro.DM(1<<10, 16)
+	v, err := repro.NewVictimCache(geom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := repro.NewStreamCache(geom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := repro.NewSetAssoc(repro.Geometry{Size: 1 << 10, LineSize: 16, Ways: 2}, repro.LRU, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 4096; a += 4 {
+		v.Access(a)
+		s.Access(a)
+		sa.Access(a)
+	}
+	if s.Stats().Misses >= v.Stats().Misses {
+		t.Errorf("stream buffer (%d misses) should beat victim (%d) on sequential code",
+			s.Stats().Misses, v.Stats().Misses)
+	}
+}
+
+func TestFacadeCollect(t *testing.T) {
+	bench, _ := repro.Benchmark("matrix300")
+	refs, err := repro.Collect(bench.Run(), 1000)
+	if err != nil || len(refs) != 1000 {
+		t.Fatalf("Collect = %d refs, %v", len(refs), err)
+	}
+	var kinds [3]int
+	for _, r := range refs {
+		kinds[r.Kind]++
+	}
+	if kinds[repro.Instr] == 0 {
+		t.Error("no instruction refs in mixed stream")
+	}
+}
+
+func TestFacadeOptimalSetAssoc(t *testing.T) {
+	geom := repro.Geometry{Size: 1 << 10, LineSize: 4, Ways: 2}
+	refs := repro.ThreeWay(10).Refs(0, geom.Size/2)
+	st := repro.OptimalSetAssoc(refs, geom)
+	if st.Misses != 12 {
+		t.Errorf("OPT 2-way (abc)^10 misses = %d, want 12", st.Misses)
+	}
+}

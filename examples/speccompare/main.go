@@ -1,0 +1,52 @@
+// Speccompare runs the whole synthetic SPEC89 suite at the paper's
+// Figure 3 operating point (32KB I-cache, 4B lines) and prints the
+// per-benchmark comparison of direct-mapped, dynamic exclusion, and the
+// optimal direct-mapped bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	refs := flag.Int("refs", 500_000, "instruction references per benchmark")
+	size := flag.Uint64("size", 32<<10, "cache size in bytes")
+	flag.Parse()
+
+	geom := repro.DM(*size, 4)
+	fmt.Printf("%-10s %14s %14s %14s %12s\n", "benchmark", "direct-mapped", "dynamic excl", "optimal DM", "DE reduction")
+
+	var sumDM, sumDE, sumOP float64
+	suite := repro.SpecSuite()
+	for _, b := range suite {
+		stream := b.Instr(*refs)
+
+		dm := repro.MustDirectMapped(geom)
+		repro.RunRefs(dm, stream)
+
+		de := repro.MustDynamicExclusion(repro.DEConfig{
+			Geometry: geom,
+			Store:    repro.NewHitLastTable(true),
+		})
+		repro.RunRefs(de, stream)
+
+		opt := repro.OptimalDM(stream, geom, false)
+
+		dmr, der, opr := dm.Stats().MissRate(), de.Stats().MissRate(), opt.MissRate()
+		sumDM += dmr
+		sumDE += der
+		sumOP += opr
+		reduction := 0.0
+		if dmr > 0 {
+			reduction = 100 * (dmr - der) / dmr
+		}
+		fmt.Printf("%-10s %13.3f%% %13.3f%% %13.3f%% %11.1f%%\n",
+			b.Name, 100*dmr, 100*der, 100*opr, reduction)
+	}
+	n := float64(len(suite))
+	fmt.Printf("%-10s %13.3f%% %13.3f%% %13.3f%% %11.1f%%\n",
+		"AVERAGE", 100*sumDM/n, 100*sumDE/n, 100*sumOP/n, 100*(sumDM-sumDE)/sumDM)
+}

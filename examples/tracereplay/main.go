@@ -1,0 +1,62 @@
+// Tracereplay shows the trace-file workflow: generate a workload once,
+// persist it in the compact binary trace format, and replay the identical
+// stream through different cache configurations. This is how the paper's
+// methodology worked too — pixie traces were captured once and fed to
+// many simulations.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	bench, ok := repro.Benchmark("espresso")
+	if !ok {
+		log.Fatal("espresso missing from the suite")
+	}
+
+	// Capture 200k references into an in-memory trace "file" (a real
+	// tool would use os.Create; see cmd/tracegen).
+	var file bytes.Buffer
+	n, err := repro.WriteTrace(&file, repro.Limit(bench.Run(), 200_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d refs into %d bytes (%.2f B/ref)\n\n",
+		n, file.Len(), float64(file.Len())/float64(n))
+
+	// Replay the identical stream through three configurations.
+	for _, cfg := range []struct {
+		name string
+		size uint64
+		de   bool
+	}{
+		{"4KB direct-mapped", 4 << 10, false},
+		{"4KB dynamic exclusion", 4 << 10, true},
+		{"16KB direct-mapped", 16 << 10, false},
+	} {
+		r, err := repro.OpenTrace(bytes.NewReader(file.Bytes()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sim repro.Simulator
+		if cfg.de {
+			sim = repro.MustDynamicExclusion(repro.DEConfig{
+				Geometry: repro.DM(cfg.size, 16),
+				Store:    repro.NewHitLastTable(true),
+			})
+		} else {
+			sim = repro.MustDirectMapped(repro.DM(cfg.size, 16))
+		}
+		if _, err := repro.Run(sim, r, 0); err != nil {
+			log.Fatal(err)
+		}
+		s := sim.Stats()
+		fmt.Printf("%-24s miss rate %6.3f%% (%d misses / %d refs)\n",
+			cfg.name, 100*s.MissRate(), s.Misses, s.Accesses)
+	}
+}

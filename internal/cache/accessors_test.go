@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAccessors(t *testing.T) {
+	dm := MustDirectMapped(DM(64, 16))
+	if dm.Geometry() != DM(64, 16) {
+		t.Error("DirectMapped.Geometry mismatch")
+	}
+	g := Geometry{Size: 64, LineSize: 16, Ways: 2}
+	sa := MustSetAssoc(g, FIFO, 3)
+	if sa.Geometry() != g {
+		t.Error("SetAssoc.Geometry mismatch")
+	}
+	if sa.ReplacementPolicy() != FIFO {
+		t.Error("ReplacementPolicy mismatch")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	var s Stats
+	s.Record(Hit, false)
+	s.Record(MissFill, true)
+	out := s.String()
+	for _, want := range []string{"accesses=2", "hits=1", "misses=1", "evictions=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats.String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestMustSetAssocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSetAssoc did not panic")
+		}
+	}()
+	MustSetAssoc(Geometry{Size: 3, LineSize: 4, Ways: 1}, LRU, 1)
+}

@@ -1,0 +1,25 @@
+package cache_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/conformance"
+)
+
+func TestConformance(t *testing.T) {
+	geom := cache.DM(16<<10, 16)
+	conformance.Check(t, "direct-mapped", conformance.Options{EventualHit: true},
+		func() cache.Simulator { return cache.MustDirectMapped(geom) })
+
+	sa2 := cache.Geometry{Size: 16 << 10, LineSize: 16, Ways: 2}
+	conformance.Check(t, "2-way-lru", conformance.Options{EventualHit: true},
+		func() cache.Simulator { return cache.MustSetAssoc(sa2, cache.LRU, 1) })
+	conformance.Check(t, "2-way-fifo", conformance.Options{EventualHit: true},
+		func() cache.Simulator { return cache.MustSetAssoc(sa2, cache.FIFO, 1) })
+	conformance.Check(t, "2-way-random", conformance.Options{EventualHit: true},
+		func() cache.Simulator { return cache.MustSetAssoc(sa2, cache.RandomRepl, 99) })
+	full := cache.Geometry{Size: 4 << 10, LineSize: 16, Ways: 0}
+	conformance.Check(t, "fully-assoc-lru", conformance.Options{EventualHit: true},
+		func() cache.Simulator { return cache.MustSetAssoc(full, cache.LRU, 1) })
+}

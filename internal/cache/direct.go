@@ -1,0 +1,110 @@
+package cache
+
+import "fmt"
+
+// DirectMapped is a conventional direct-mapped cache: every block has
+// exactly one line it can live in, and the most recent reference always
+// replaces the previous occupant. This is the paper's baseline.
+type DirectMapped struct {
+	geom  Geometry
+	tags  []uint64
+	valid []bool
+	stats Stats
+
+	// OnEvict, if non-nil, is called with the block number of each valid
+	// block displaced by a fill. Hierarchies use it to spill evictions to
+	// the next level.
+	OnEvict func(block uint64)
+}
+
+// NewDirectMapped returns a direct-mapped cache with the given geometry
+// (Ways is forced to 1).
+func NewDirectMapped(geom Geometry) (*DirectMapped, error) {
+	geom.Ways = 1
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	n := geom.Sets()
+	return &DirectMapped{
+		geom:  geom,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+	}, nil
+}
+
+// MustDirectMapped is NewDirectMapped but panics on error; for tables of
+// experiment configurations.
+func MustDirectMapped(geom Geometry) *DirectMapped {
+	c, err := NewDirectMapped(geom)
+	if err != nil {
+		panic(fmt.Sprintf("cache: %v", err))
+	}
+	return c
+}
+
+// Access references addr, filling on a miss.
+func (c *DirectMapped) Access(addr uint64) Result {
+	set := c.geom.Set(addr)
+	tag := c.geom.Tag(addr)
+	if c.valid[set] && c.tags[set] == tag {
+		c.stats.Record(Hit, false)
+		return Hit
+	}
+	evicted := c.valid[set]
+	if evicted && c.OnEvict != nil {
+		c.OnEvict(c.tags[set])
+	}
+	c.tags[set] = tag
+	c.valid[set] = true
+	c.stats.Record(MissFill, evicted)
+	return MissFill
+}
+
+// Contains reports whether addr's block is resident (no stats side
+// effects).
+func (c *DirectMapped) Contains(addr uint64) bool {
+	set := c.geom.Set(addr)
+	return c.valid[set] && c.tags[set] == c.geom.Tag(addr)
+}
+
+// Fill inserts addr's block without counting an access (used by
+// hierarchies to model spills from an upper level). It reports whether a
+// valid block was displaced.
+func (c *DirectMapped) Fill(addr uint64) bool {
+	set := c.geom.Set(addr)
+	tag := c.geom.Tag(addr)
+	if c.valid[set] && c.tags[set] == tag {
+		return false
+	}
+	evicted := c.valid[set]
+	if evicted && c.OnEvict != nil {
+		c.OnEvict(c.tags[set])
+	}
+	c.tags[set] = tag
+	c.valid[set] = true
+	return evicted
+}
+
+// Invalidate removes addr's block if resident, reporting whether it was.
+func (c *DirectMapped) Invalidate(addr uint64) bool {
+	set := c.geom.Set(addr)
+	if c.valid[set] && c.tags[set] == c.geom.Tag(addr) {
+		c.valid[set] = false
+		return true
+	}
+	return false
+}
+
+// Stats returns the accumulated counters.
+func (c *DirectMapped) Stats() Stats { return c.stats }
+
+// Geometry returns the cache's shape.
+func (c *DirectMapped) Geometry() Geometry { return c.geom }
+
+// Reset clears contents and counters.
+func (c *DirectMapped) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.stats = Stats{}
+}

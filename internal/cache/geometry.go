@@ -1,0 +1,116 @@
+// Package cache provides the baseline cache simulators the paper measures
+// against: a conventional direct-mapped cache and n-way set-associative
+// caches with LRU, FIFO, and random replacement. All simulators share the
+// Geometry address math and the Stats event counters, and are driven one
+// reference at a time so they compose into hierarchies.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Geometry fixes a cache's shape: total capacity, line size, and
+// associativity. Sizes are in bytes and must be powers of two.
+type Geometry struct {
+	// Size is the total capacity in bytes.
+	Size uint64
+	// LineSize is the line (block) size in bytes.
+	LineSize uint64
+	// Ways is the associativity; 1 means direct-mapped, 0 means fully
+	// associative.
+	Ways int
+}
+
+// DM returns a direct-mapped geometry.
+func DM(size, lineSize uint64) Geometry {
+	return Geometry{Size: size, LineSize: lineSize, Ways: 1}
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	if g.Size == 0 || bits.OnesCount64(g.Size) != 1 {
+		return fmt.Errorf("cache: size %d is not a power of two", g.Size)
+	}
+	if g.LineSize == 0 || bits.OnesCount64(g.LineSize) != 1 {
+		return fmt.Errorf("cache: line size %d is not a power of two", g.LineSize)
+	}
+	if g.LineSize > g.Size {
+		return fmt.Errorf("cache: line size %d exceeds cache size %d", g.LineSize, g.Size)
+	}
+	if g.Ways < 0 {
+		return fmt.Errorf("cache: negative associativity %d", g.Ways)
+	}
+	lines := g.Lines()
+	ways := uint64(g.Ways)
+	if g.Ways == 0 {
+		ways = lines // fully associative
+	}
+	if ways > lines {
+		return fmt.Errorf("cache: %d ways exceed %d lines", g.Ways, lines)
+	}
+	if lines%ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, g.Ways)
+	}
+	return nil
+}
+
+// Lines returns the total number of cache lines.
+func (g Geometry) Lines() uint64 { return g.Size / g.LineSize }
+
+// Sets returns the number of sets.
+func (g Geometry) Sets() uint64 {
+	if g.Ways == 0 {
+		return 1
+	}
+	return g.Lines() / uint64(g.Ways)
+}
+
+// WaysPerSet returns the effective associativity (Lines() when fully
+// associative).
+func (g Geometry) WaysPerSet() int {
+	if g.Ways == 0 {
+		return int(g.Lines())
+	}
+	return g.Ways
+}
+
+// Block returns the line-aligned block number of addr (addr divided by the
+// line size). Two addresses in the same block always hit the same line.
+func (g Geometry) Block(addr uint64) uint64 { return addr / g.LineSize }
+
+// Set returns the set index addr maps to.
+func (g Geometry) Set(addr uint64) uint64 { return g.Block(addr) % g.Sets() }
+
+// Tag returns the tag of addr (the block number; keeping the full block
+// number as the tag makes tags unique across sets, which simplifies
+// hit-last bookkeeping).
+func (g Geometry) Tag(addr uint64) uint64 { return g.Block(addr) }
+
+// BlockAddr returns the first byte address of addr's block.
+func (g Geometry) BlockAddr(addr uint64) uint64 {
+	return g.Block(addr) * g.LineSize
+}
+
+// String renders the geometry as e.g. "32KB/4B/direct".
+func (g Geometry) String() string {
+	assoc := "full"
+	switch {
+	case g.Ways == 1:
+		assoc = "direct"
+	case g.Ways > 1:
+		assoc = fmt.Sprintf("%d-way", g.Ways)
+	}
+	return fmt.Sprintf("%s/%s/%s", fmtSize(g.Size), fmtSize(g.LineSize), assoc)
+}
+
+func fmtSize(n uint64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

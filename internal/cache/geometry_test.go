@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	good := []Geometry{
+		DM(32<<10, 4),
+		{Size: 32 << 10, LineSize: 16, Ways: 2},
+		{Size: 1 << 10, LineSize: 16, Ways: 0}, // fully associative
+		{Size: 16, LineSize: 16, Ways: 1},      // single line
+	}
+	for _, g := range good {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%v should validate: %v", g, err)
+		}
+	}
+	bad := []Geometry{
+		{Size: 0, LineSize: 4, Ways: 1},
+		{Size: 3000, LineSize: 4, Ways: 1},      // not a power of two
+		{Size: 1 << 10, LineSize: 3, Ways: 1},   // line not power of two
+		{Size: 16, LineSize: 32, Ways: 1},       // line > size
+		{Size: 1 << 10, LineSize: 4, Ways: -1},  // negative ways
+		{Size: 64, LineSize: 16, Ways: 8},       // more ways than lines
+		{Size: 1 << 10, LineSize: 4, Ways: 100}, // lines not divisible
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%+v should not validate", g)
+		}
+	}
+}
+
+func TestGeometryMath(t *testing.T) {
+	g := Geometry{Size: 1 << 10, LineSize: 16, Ways: 2} // 64 lines, 32 sets
+	if g.Lines() != 64 {
+		t.Errorf("Lines = %d", g.Lines())
+	}
+	if g.Sets() != 32 {
+		t.Errorf("Sets = %d", g.Sets())
+	}
+	if g.WaysPerSet() != 2 {
+		t.Errorf("WaysPerSet = %d", g.WaysPerSet())
+	}
+	if g.Block(0x1234) != 0x123 {
+		t.Errorf("Block = %#x", g.Block(0x1234))
+	}
+	if g.Set(0x1234) != 0x123%32 {
+		t.Errorf("Set = %d", g.Set(0x1234))
+	}
+	if g.BlockAddr(0x1234) != 0x1230 {
+		t.Errorf("BlockAddr = %#x", g.BlockAddr(0x1234))
+	}
+}
+
+func TestGeometryFullyAssociative(t *testing.T) {
+	g := Geometry{Size: 256, LineSize: 16, Ways: 0}
+	if g.Sets() != 1 {
+		t.Errorf("Sets = %d, want 1", g.Sets())
+	}
+	if g.WaysPerSet() != 16 {
+		t.Errorf("WaysPerSet = %d, want 16", g.WaysPerSet())
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	cases := map[string]Geometry{
+		"32KB/4B/direct": DM(32<<10, 4),
+		"1MB/16B/4-way":  {Size: 1 << 20, LineSize: 16, Ways: 4},
+		"256B/16B/full":  {Size: 256, LineSize: 16, Ways: 0},
+	}
+	for want, g := range cases {
+		if got := g.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestGeometrySameLineSameSet(t *testing.T) {
+	// Property: addresses within one block share set and tag; addresses
+	// one cache-size apart share the set but differ in tag.
+	g := DM(1<<15, 16)
+	f := func(addr uint64, off uint8) bool {
+		addr &= 1<<40 - 1
+		base := g.BlockAddr(addr)
+		within := base + uint64(off)%g.LineSize
+		if g.Set(within) != g.Set(base) || g.Tag(within) != g.Tag(base) {
+			return false
+		}
+		conflict := base + g.Size
+		return g.Set(conflict) == g.Set(base) && g.Tag(conflict) != g.Tag(base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFmtSize(t *testing.T) {
+	cases := map[uint64]string{4: "4B", 1 << 10: "1KB", 48 << 10: "48KB", 1 << 20: "1MB", 1500: "1500B"}
+	for n, want := range cases {
+		if got := fmtSize(n); got != want {
+			t.Errorf("fmtSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

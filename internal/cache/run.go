@@ -1,0 +1,39 @@
+package cache
+
+import (
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Run drives sim with every reference from r (at most limit references;
+// limit <= 0 means all) and returns the number of references delivered.
+func Run(sim Simulator, r trace.Reader, limit int) (int, error) {
+	n := 0
+	for limit <= 0 || n < limit {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sim.Access(ref.Addr)
+		n++
+	}
+	return n, nil
+}
+
+// RunRefs drives sim with an in-memory reference slice.
+func RunRefs(sim Simulator, refs []trace.Ref) {
+	for _, ref := range refs {
+		sim.Access(ref.Addr)
+	}
+}
+
+// MissRateOver runs sim over refs and returns the resulting miss rate
+// (including any accesses recorded before the call).
+func MissRateOver(sim Simulator, refs []trace.Ref) float64 {
+	RunRefs(sim, refs)
+	return sim.Stats().MissRate()
+}

@@ -1,0 +1,118 @@
+package cache
+
+import "fmt"
+
+// Result classifies one cache access.
+type Result uint8
+
+const (
+	// Hit: the block was resident (or held by an attached buffer).
+	Hit Result = iota
+	// MissFill: the block missed and was stored in the cache.
+	MissFill
+	// MissBypass: the block missed and was passed to the CPU without
+	// being stored (dynamic exclusion, or a victim-cache style transfer).
+	MissBypass
+)
+
+// IsMiss reports whether the access missed.
+func (r Result) IsMiss() bool { return r != Hit }
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case MissFill:
+		return "miss+fill"
+	case MissBypass:
+		return "miss+bypass"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts access outcomes. The zero value is ready to use.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	// Fills counts misses that stored the block.
+	Fills uint64
+	// Bypasses counts misses that did not store the block.
+	Bypasses uint64
+	// Evictions counts valid blocks displaced by fills.
+	Evictions uint64
+}
+
+// Record tallies one access result; evicted says whether the fill
+// displaced a valid block.
+func (s *Stats) Record(r Result, evicted bool) {
+	s.Accesses++
+	switch r {
+	case Hit:
+		s.Hits++
+	case MissFill:
+		s.Misses++
+		s.Fills++
+		if evicted {
+			s.Evictions++
+		}
+	case MissBypass:
+		s.Misses++
+		s.Bypasses++
+	}
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// HitRate returns Hits/Accesses, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Fills += other.Fills
+	s.Bypasses += other.Bypasses
+	s.Evictions += other.Evictions
+}
+
+// Sub returns the difference s - earlier, for measuring a steady-state
+// window: snapshot the counters after warmup and subtract the snapshot
+// from the final counters.
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{
+		Accesses:  s.Accesses - earlier.Accesses,
+		Hits:      s.Hits - earlier.Hits,
+		Misses:    s.Misses - earlier.Misses,
+		Fills:     s.Fills - earlier.Fills,
+		Bypasses:  s.Bypasses - earlier.Bypasses,
+		Evictions: s.Evictions - earlier.Evictions,
+	}
+}
+
+// String summarizes the stats for logs and CLIs.
+func (s Stats) String() string {
+	return fmt.Sprintf("accesses=%d hits=%d misses=%d (%.3f%%) fills=%d bypasses=%d evictions=%d",
+		s.Accesses, s.Hits, s.Misses, 100*s.MissRate(), s.Fills, s.Bypasses, s.Evictions)
+}
+
+// Simulator is anything that can be driven one address at a time. Access
+// takes a byte address (simulators do their own block math).
+type Simulator interface {
+	Access(addr uint64) Result
+	Stats() Stats
+}

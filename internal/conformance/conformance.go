@@ -1,0 +1,132 @@
+// Package conformance checks the invariants every cache simulator in this
+// repository must uphold, over deterministic pseudo-random reference
+// streams. Each simulator package applies the harness in its tests, so a
+// new policy implementation gets the whole battery for one call.
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// Options tune which invariants apply to a given policy.
+type Options struct {
+	// EventualHit asserts that an address referenced three times in
+	// immediate succession hits by the third access. True for every
+	// demand-fill policy here except static exclusion-by-address (which
+	// never caches an excluded block).
+	EventualHit bool
+	// Streams is the number of random streams (default 8).
+	Streams int
+	// Refs is the stream length (default 4000).
+	Refs int
+}
+
+// Check runs the battery against fresh simulators from mk.
+func Check(t *testing.T, name string, opts Options, mk func() cache.Simulator) {
+	t.Helper()
+	if opts.Streams == 0 {
+		opts.Streams = 8
+	}
+	if opts.Refs == 0 {
+		opts.Refs = 4000
+	}
+	t.Run(name+"/stats-consistency", func(t *testing.T) { checkStats(t, opts, mk) })
+	t.Run(name+"/determinism", func(t *testing.T) { checkDeterminism(t, opts, mk) })
+	if opts.EventualHit {
+		t.Run(name+"/eventual-hit", func(t *testing.T) { checkEventualHit(t, opts, mk) })
+	}
+	t.Run(name+"/cold-start-miss", func(t *testing.T) { checkColdStart(t, mk) })
+}
+
+// stream produces a conflict-heavy deterministic address sequence.
+func stream(seed int64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		// A few hot addresses, conflicting pages, and noise.
+		switch rng.Intn(6) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = 1 << 14
+		case 2:
+			out[i] = uint64(rng.Intn(8)) << 14
+		default:
+			out[i] = uint64(rng.Intn(1 << 16))
+		}
+	}
+	return out
+}
+
+func checkStats(t *testing.T, opts Options, mk func() cache.Simulator) {
+	t.Helper()
+	for seed := int64(1); seed <= int64(opts.Streams); seed++ {
+		sim := mk()
+		for _, a := range stream(seed, opts.Refs) {
+			res := sim.Access(a)
+			if res != cache.Hit && res != cache.MissFill && res != cache.MissBypass {
+				t.Fatalf("seed %d: invalid result %v", seed, res)
+			}
+		}
+		s := sim.Stats()
+		if s.Accesses != uint64(opts.Refs) {
+			t.Fatalf("seed %d: accesses %d, want %d", seed, s.Accesses, opts.Refs)
+		}
+		if s.Hits+s.Misses != s.Accesses {
+			t.Fatalf("seed %d: hits %d + misses %d != accesses %d", seed, s.Hits, s.Misses, s.Accesses)
+		}
+		if s.Fills+s.Bypasses > s.Misses {
+			t.Fatalf("seed %d: fills %d + bypasses %d exceed misses %d", seed, s.Fills, s.Bypasses, s.Misses)
+		}
+		if s.Evictions > s.Fills {
+			t.Fatalf("seed %d: evictions %d exceed fills %d", seed, s.Evictions, s.Fills)
+		}
+		if mr := s.MissRate(); mr < 0 || mr > 1 {
+			t.Fatalf("seed %d: miss rate %v out of [0,1]", seed, mr)
+		}
+	}
+}
+
+func checkDeterminism(t *testing.T, opts Options, mk func() cache.Simulator) {
+	t.Helper()
+	addrs := stream(42, opts.Refs)
+	a, b := mk(), mk()
+	for _, addr := range addrs {
+		ra, rb := a.Access(addr), b.Access(addr)
+		if ra != rb {
+			t.Fatalf("two fresh instances diverged at %#x: %v vs %v", addr, ra, rb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func checkEventualHit(t *testing.T, opts Options, mk func() cache.Simulator) {
+	t.Helper()
+	sim := mk()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		addr := uint64(rng.Intn(1 << 16))
+		sim.Access(addr)
+		sim.Access(addr)
+		if res := sim.Access(addr); res != cache.Hit {
+			t.Fatalf("address %#x still missing on third consecutive access: %v", addr, res)
+		}
+	}
+}
+
+func checkColdStart(t *testing.T, mk func() cache.Simulator) {
+	t.Helper()
+	sim := mk()
+	if res := sim.Access(0x1234); res == cache.Hit {
+		t.Fatal("cold cache reported a hit")
+	}
+	s := sim.Stats()
+	if s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("cold stats = %+v", s)
+	}
+}

@@ -1,0 +1,39 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a := stream(3, 1000)
+	b := stream(3, 1000)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("stream is not deterministic for a fixed seed")
+	}
+	c := stream(4, 1000)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestStreamIsConflictHeavy(t *testing.T) {
+	addrs := stream(1, 4000)
+	hot := 0
+	for _, a := range addrs {
+		if a == 0 || a == 1<<14 {
+			hot++
+		}
+	}
+	// Roughly 2/6 of draws target the two hot conflicting addresses.
+	if hot < len(addrs)/5 {
+		t.Errorf("only %d/%d hot references; stream lost its conflict pressure", hot, len(addrs))
+	}
+}
+
+func TestCheckAcceptsAKnownGoodSimulator(t *testing.T) {
+	Check(t, "dm", Options{EventualHit: true, Streams: 2, Refs: 500},
+		func() cache.Simulator { return cache.MustDirectMapped(cache.DM(1<<12, 16)) })
+}

@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/conformance"
+	"repro/internal/core"
+)
+
+func TestConformance(t *testing.T) {
+	geom := cache.DM(16<<10, 16)
+	mk := func(store func() core.HitLastStore, lastLine bool, sticky int) func() cache.Simulator {
+		return func() cache.Simulator {
+			return core.Must(core.Config{
+				Geometry:    geom,
+				Store:       store(),
+				UseLastLine: lastLine,
+				StickyMax:   sticky,
+			})
+		}
+	}
+	conformance.Check(t, "de-table-assume-miss", conformance.Options{EventualHit: true},
+		mk(func() core.HitLastStore { return core.NewTableStore(false) }, false, 0))
+	conformance.Check(t, "de-table-assume-hit", conformance.Options{EventualHit: true},
+		mk(func() core.HitLastStore { return core.NewTableStore(true) }, false, 0))
+	conformance.Check(t, "de-hashed", conformance.Options{EventualHit: true},
+		mk(func() core.HitLastStore { return core.MustHashedStore(4096, true) }, false, 0))
+	conformance.Check(t, "de-lastline", conformance.Options{EventualHit: true},
+		mk(func() core.HitLastStore { return core.NewTableStore(true) }, true, 0))
+	conformance.Check(t, "de-const-never-hit", conformance.Options{EventualHit: true},
+		mk(func() core.HitLastStore { return core.ConstStore(false) }, false, 0))
+	// Multi-sticky residents can defend through more than two consecutive
+	// conflicts, so eventual-hit-in-three does not apply.
+	conformance.Check(t, "de-multisticky", conformance.Options{EventualHit: false},
+		mk(func() core.HitLastStore { return core.NewTableStore(false) }, false, 4))
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TableStore is the idealized hit-last store: one bit per memory block,
+// unbounded. The paper calls this configuration simply "dynamic
+// exclusion"; it is what Figures 3, 4, 5, 11–15 measure. Default is the
+// bit reported for never-seen blocks — the cold-start assume-hit /
+// assume-miss choice of §5.
+type TableStore struct {
+	bits    map[uint64]bool
+	Default bool
+}
+
+// NewTableStore returns an empty table reporting def for unseen blocks.
+func NewTableStore(def bool) *TableStore {
+	return &TableStore{bits: make(map[uint64]bool), Default: def}
+}
+
+// Lookup returns the recorded bit, or the default for unseen blocks.
+func (t *TableStore) Lookup(block uint64) bool {
+	if v, ok := t.bits[block]; ok {
+		return v
+	}
+	return t.Default
+}
+
+// Writeback records the bit.
+func (t *TableStore) Writeback(block uint64, hitLast bool) {
+	t.bits[block] = hitLast
+}
+
+// Len returns the number of blocks with recorded bits.
+func (t *TableStore) Len() int { return len(t.bits) }
+
+// Reset forgets all recorded bits.
+func (t *TableStore) Reset() { clear(t.bits) }
+
+// HashedStore is the paper's "hashed" storage strategy (§5): a fixed-size
+// array of hit-last bits kept in the L1 cache, indexed by a hash of the
+// block number. Distinct blocks may share a bit (aliasing) — the paper
+// finds four bits per L1 cache line are enough for good performance. This
+// store needs no cooperation from the L2 cache at all.
+type HashedStore struct {
+	words []uint64
+	mask  uint64
+}
+
+// NewHashedStore returns a store with capacity for `entries` bits, rounded
+// up to a power of two. entries must be positive. If def is true every bit
+// starts set (assume-hit cold start); otherwise clear.
+func NewHashedStore(entries int, def bool) (*HashedStore, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("core: hashed store needs positive entries, got %d", entries)
+	}
+	n := uint64(1)
+	for n < uint64(entries) {
+		n <<= 1
+	}
+	s := &HashedStore{
+		words: make([]uint64, (n+63)/64),
+		mask:  n - 1,
+	}
+	if def {
+		for i := range s.words {
+			s.words[i] = ^uint64(0)
+		}
+	}
+	return s, nil
+}
+
+// MustHashedStore is NewHashedStore but panics on error.
+func MustHashedStore(entries int, def bool) *HashedStore {
+	s, err := NewHashedStore(entries, def)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Entries returns the number of hit-last bits in the store.
+func (s *HashedStore) Entries() int { return int(s.mask + 1) }
+
+// hash mixes the block number so that blocks a cache-size apart (which are
+// exactly the ones that conflict) do not systematically alias onto the
+// same bit.
+func hash(block uint64) uint64 {
+	// Fibonacci hashing with an extra xor-shift; cheap and adequate.
+	block ^= block >> 33
+	block *= 0x9E3779B97F4A7C15
+	return bits.RotateLeft64(block, 29)
+}
+
+// Lookup returns the (possibly aliased) hit-last bit for block.
+func (s *HashedStore) Lookup(block uint64) bool {
+	i := hash(block) & s.mask
+	return s.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// Writeback sets or clears the (possibly aliased) bit for block.
+func (s *HashedStore) Writeback(block uint64, hitLast bool) {
+	i := hash(block) & s.mask
+	if hitLast {
+		s.words[i>>6] |= 1 << (i & 63)
+	} else {
+		s.words[i>>6] &^= 1 << (i & 63)
+	}
+}
+
+// ConstStore reports the same hit-last bit for every block and discards
+// writebacks. ConstStore(true) makes every conflicting reference displace
+// a sticky resident after one exclusion — an ablation that isolates the
+// sticky bit; ConstStore(false) makes exclusion permanent until the
+// resident goes non-sticky.
+type ConstStore bool
+
+// Lookup returns the constant.
+func (c ConstStore) Lookup(uint64) bool { return bool(c) }
+
+// Writeback is a no-op.
+func (c ConstStore) Writeback(uint64, bool) {}

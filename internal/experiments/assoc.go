@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/table"
+	"repro/internal/trace"
+)
+
+// AssocResult is the extra motivation study (§1 of the paper):
+// direct-mapped caches are chosen over set-associative ones for access
+// time, at the price of conflict misses. The table shows how much of the
+// direct-mapped ↔ 2-way-LRU miss-rate gap dynamic exclusion closes while
+// keeping the direct-mapped access path.
+type AssocResult struct {
+	DM, DE, LRU2, LRU4 metrics.Series
+}
+
+// Assoc runs the associativity comparison over the standard size axis at
+// 4-byte lines.
+func Assoc(w *Workloads) AssocResult {
+	var res AssocResult
+	res.DM.Name, res.DE.Name = "direct-mapped", "dynamic exclusion"
+	res.LRU2.Name, res.LRU4.Name = "2-way LRU", "4-way LRU"
+	for _, size := range standardSizes() {
+		n := len(w.Names())
+		dms, des := make([]float64, n), make([]float64, n)
+		l2s, l4s := make([]float64, n), make([]float64, n)
+		forEachBenchmark(w, instrKind, func(i int, refs []trace.Ref) {
+			geom := cache.DM(size, 4)
+			dms[i] = dmRate(refs, geom)
+			des[i] = deRate(refs, geom, false)
+			for _, ways := range []int{2, 4} {
+				g := cache.Geometry{Size: size, LineSize: 4, Ways: ways}
+				c := cache.MustSetAssoc(g, cache.LRU, 1)
+				cache.RunRefs(c, refs)
+				if ways == 2 {
+					l2s[i] = c.Stats().MissRate()
+				} else {
+					l4s[i] = c.Stats().MissRate()
+				}
+			}
+		})
+		x := float64(size) / 1024
+		res.DM.Points = append(res.DM.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(dms)})
+		res.DE.Points = append(res.DE.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(des)})
+		res.LRU2.Points = append(res.LRU2.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(l2s)})
+		res.LRU4.Points = append(res.LRU4.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(l4s)})
+	}
+	return res
+}
+
+// GapClosed returns, at each size, the fraction (percent) of the
+// DM→2-way-LRU miss gap that dynamic exclusion closes.
+func (r AssocResult) GapClosed() metrics.Series {
+	out := metrics.Series{Name: "gap closed by DE"}
+	for i, p := range r.DM.Points {
+		gap := p.Y - r.LRU2.Points[i].Y
+		if gap <= 0 {
+			out.Points = append(out.Points, metrics.Point{X: p.X, Y: 0})
+			continue
+		}
+		closed := 100 * (p.Y - r.DE.Points[i].Y) / gap
+		out.Points = append(out.Points, metrics.Point{X: p.X, Y: closed})
+	}
+	return out
+}
+
+// String renders the comparison.
+func (r AssocResult) String() string {
+	var b strings.Builder
+	t := table.New("Extra — direct-mapped vs set-associative vs dynamic exclusion (b=4B)",
+		"cache size", "direct-mapped", "dynamic excl", "2-way LRU", "4-way LRU", "DM→2way gap closed")
+	gap := r.GapClosed()
+	for i, p := range r.DM.Points {
+		t.AddRow(kbLabel(p.X),
+			pctf(p.Y), pctf(r.DE.Points[i].Y),
+			pctf(r.LRU2.Points[i].Y), pctf(r.LRU4.Points[i].Y),
+			pctf(gap.Points[i].Y))
+	}
+	t.AddNote("the paper's premise: direct-mapped wins on access time; DE recovers part of the")
+	t.AddNote("conflict-miss gap to set-associative caches without lengthening the hit path")
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssocShape(t *testing.T) {
+	w := testWorkloads(t)
+	r := Assoc(w)
+	if len(r.DM.Points) != len(standardSizes()) {
+		t.Fatalf("points = %d", len(r.DM.Points))
+	}
+	for i := range r.DM.Points {
+		dm := r.DM.Points[i].Y
+		l2 := r.LRU2.Points[i].Y
+		de := r.DE.Points[i].Y
+		if de > dm*1.02+1e-9 {
+			t.Errorf("DE %.3f above DM %.3f at %gK", de, dm, r.DM.Points[i].X)
+		}
+		// Associativity helps once capacity covers the cyclic sweeps; at
+		// tiny sizes LRU hits its cyclic worst case, so only assert from
+		// 8KB up.
+		if r.DM.Points[i].X >= 8 && l2 > dm*1.02+1e-9 {
+			t.Errorf("2-way %.3f above DM %.3f at %gK", l2, dm, r.DM.Points[i].X)
+		}
+	}
+	gap := r.GapClosed()
+	anyClosed := false
+	for _, p := range gap.Points {
+		if p.Y > 10 {
+			anyClosed = true
+		}
+	}
+	if !anyClosed {
+		t.Errorf("DE closes no meaningful gap anywhere: %v", gap.Points)
+	}
+	out := r.String()
+	if !strings.Contains(out, "2-way LRU") || !strings.Contains(out, "gap closed") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestAmatShape(t *testing.T) {
+	w := testWorkloads(t)
+	r := Amat(w)
+	if len(r.DM.Points) != len(standardSizes()) {
+		t.Fatalf("points = %d", len(r.DM.Points))
+	}
+	for i := range r.DM.Points {
+		// DE never exceeds plain DM in AMAT (same hit path, fewer misses).
+		if r.DE.Points[i].Y > r.DM.Points[i].Y+1e-9 {
+			t.Errorf("DE AMAT above DM at %gK", r.DM.Points[i].X)
+		}
+		// Associative AMAT includes the hit penalty: at large sizes where
+		// miss rates converge, 4-way must cost more than DM.
+		if r.DM.Points[i].X >= 128 && r.LRU4.Points[i].Y <= r.DM.Points[i].Y {
+			t.Errorf("4-way AMAT %.3f not above DM %.3f once miss rates converge",
+				r.LRU4.Points[i].Y, r.DM.Points[i].Y)
+		}
+	}
+	if r.DESpeedupOverDMAt32K < 1 {
+		t.Errorf("DE speedup over DM = %v, want >= 1", r.DESpeedupOverDMAt32K)
+	}
+	if !strings.Contains(r.String(), "cycles") {
+		t.Error("render broken")
+	}
+}
+
+func TestStaticShape(t *testing.T) {
+	w := testWorkloads(t)
+	r := Static(w)
+	// Optimal lower-bounds everything; both exclusion schemes should not
+	// be (meaningfully) worse than plain direct-mapped with a fresh
+	// profile.
+	if r.OPT > r.DE+1e-12 || r.OPT > r.StaticSelf+1e-12 {
+		t.Errorf("OPT above a realizable policy: %+v", r)
+	}
+	if r.StaticSelf > r.DM*1.02 {
+		t.Errorf("self-profile static exclusion worse than DM: %+v", r)
+	}
+	if r.DE > r.DM*1.02 {
+		t.Errorf("DE worse than DM: %+v", r)
+	}
+	// The stale profile must not beat the self profile's training input
+	// advantage by much; typically it is worse.
+	if r.AvgExcludedSelf <= 0 {
+		t.Error("no blocks excluded; alpha or profile broken")
+	}
+	if !strings.Contains(r.String(), "stale profile") {
+		t.Error("render broken")
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	w := testWorkloads(t)
+	r := Sensitivity(w)
+	if len(r.Curves) != len(r.Offsets) || len(r.Offsets) < 2 {
+		t.Fatalf("curves = %d, offsets = %d", len(r.Curves), len(r.Offsets))
+	}
+	// Every seed's curve must show the rise-peak-fall shape: a positive
+	// peak somewhere strictly inside the size axis, and (near) zero at
+	// the largest size.
+	for _, c := range r.Curves {
+		x, y := c.PeakY()
+		if y < 5 {
+			t.Errorf("%s: peak reduction %.1f%%, want >= 5%%", c.Name, y)
+		}
+		if x <= c.Points[0].X || x >= c.Points[len(c.Points)-1].X {
+			t.Errorf("%s: peak at boundary %gK", c.Name, x)
+		}
+		if last := c.Points[len(c.Points)-1].Y; last > y/2 {
+			t.Errorf("%s: reduction does not fall off at large sizes (%.1f%% vs peak %.1f%%)", c.Name, last, y)
+		}
+	}
+	// Min <= Mean <= Max pointwise.
+	for i := range r.Mean.Points {
+		if r.Min.Points[i].Y > r.Mean.Points[i].Y+1e-9 || r.Mean.Points[i].Y > r.Max.Points[i].Y+1e-9 {
+			t.Errorf("aggregate ordering broken at %gK", r.Mean.Points[i].X)
+		}
+	}
+	if !strings.Contains(r.String(), "seed sensitivity") {
+		t.Error("render broken")
+	}
+}
+
+func TestWritesShape(t *testing.T) {
+	w := testWorkloads(t)
+	r := Writes(w)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]WritesRow{}
+	for _, row := range r.Rows {
+		byName[row.Config] = row
+	}
+	wb := byName["direct-mapped, write-back"]
+	wt := byName["direct-mapped, write-through"]
+	de := byName["dynamic excl, write-back"]
+	if wb.MissRate != wt.MissRate {
+		t.Errorf("write policy must not change the miss rate: %v vs %v", wb.MissRate, wt.MissRate)
+	}
+	if wt.TrafficPerKR <= wb.TrafficPerKR {
+		t.Errorf("write-through traffic %v should exceed write-back %v", wt.TrafficPerKR, wb.TrafficPerKR)
+	}
+	if de.MissRate > wb.MissRate*1.02 {
+		t.Errorf("DE data miss rate %v above DM %v", de.MissRate, wb.MissRate)
+	}
+	if !strings.Contains(r.String(), "write traffic") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,281 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figures 3–5, 7–9, 11–15, and the §3 pattern analysis), plus
+// the ablations DESIGN.md calls out. Each experiment is a function from a
+// shared workload cache to a structured result that renders as a text
+// table/chart; cmd/dynex-experiments drives them and EXPERIMENTS.md
+// records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/opt"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Refs is the number of references collected per benchmark and stream
+	// kind (default 1,000,000). The paper used the first 10M references
+	// of each benchmark and notes full-stream results are similar; our
+	// synthetic workloads are stationary after a few phase cycles, so 1M
+	// is the default and -refs raises it.
+	Refs int
+	// SeedOffset shifts every benchmark's generation seed, producing a
+	// structurally similar but distinct workload suite — a sensitivity
+	// check that conclusions do not hinge on one particular random CFG.
+	SeedOffset int64
+}
+
+func (c Config) refs() int {
+	if c.Refs <= 0 {
+		return 1_000_000
+	}
+	return c.Refs
+}
+
+// Workloads lazily collects and caches the suite's reference streams so
+// that figures sharing a stream do not regenerate it.
+type Workloads struct {
+	cfg   Config
+	suite []spec.Benchmark
+	instr map[string][]trace.Ref
+	data  map[string][]trace.Ref
+	mixed map[string][]trace.Ref
+}
+
+// NewWorkloads returns an empty cache over the standard suite (or a
+// seed-shifted variant when cfg.SeedOffset is nonzero).
+func NewWorkloads(cfg Config) *Workloads {
+	var suite []spec.Benchmark
+	if cfg.SeedOffset == 0 {
+		suite = spec.Suite()
+	} else {
+		for _, p := range spec.SuiteParams() {
+			p.Seed += cfg.SeedOffset
+			suite = append(suite, spec.MustBuild(p))
+		}
+	}
+	return &Workloads{
+		cfg:   cfg,
+		suite: suite,
+		instr: map[string][]trace.Ref{},
+		data:  map[string][]trace.Ref{},
+		mixed: map[string][]trace.Ref{},
+	}
+}
+
+// Suite returns the benchmarks.
+func (w *Workloads) Suite() []spec.Benchmark { return w.suite }
+
+// Config returns the configuration the workloads were built with.
+func (w *Workloads) Config() Config { return w.cfg }
+
+// Names returns the benchmark names in suite order.
+func (w *Workloads) Names() []string {
+	out := make([]string, len(w.suite))
+	for i, b := range w.suite {
+		out[i] = b.Name
+	}
+	return out
+}
+
+func (w *Workloads) find(name string) spec.Benchmark {
+	for _, b := range w.suite {
+		if b.Name == name {
+			return b
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown benchmark %q", name))
+}
+
+// Instr returns (and caches) the benchmark's instruction stream.
+func (w *Workloads) Instr(name string) []trace.Ref {
+	if r, ok := w.instr[name]; ok {
+		return r
+	}
+	r := w.find(name).Instr(w.cfg.refs())
+	w.instr[name] = r
+	return r
+}
+
+// Data returns (and caches) the benchmark's data stream.
+func (w *Workloads) Data(name string) []trace.Ref {
+	if r, ok := w.data[name]; ok {
+		return r
+	}
+	r := w.find(name).Data(w.cfg.refs())
+	w.data[name] = r
+	return r
+}
+
+// Mixed returns (and caches) the benchmark's combined stream.
+func (w *Workloads) Mixed(name string) []trace.Ref {
+	if r, ok := w.mixed[name]; ok {
+		return r
+	}
+	r := w.find(name).Mixed(w.cfg.refs())
+	w.mixed[name] = r
+	return r
+}
+
+// Release drops all cached streams (the per-figure drivers in bench mode
+// use it to bound memory).
+func (w *Workloads) Release() {
+	w.instr = map[string][]trace.Ref{}
+	w.data = map[string][]trace.Ref{}
+	w.mixed = map[string][]trace.Ref{}
+}
+
+// The three simulated policies of the single-level figures. "Dynamic
+// exclusion" throughout the single-level experiments means the idealized
+// configuration of Figures 3–5: an unbounded hit-last table with assume-
+// hit cold start (§5 shows assume-hit is the best realizable default).
+
+// dmRate runs a conventional direct-mapped cache.
+func dmRate(refs []trace.Ref, geom cache.Geometry) float64 {
+	c := cache.MustDirectMapped(geom)
+	cache.RunRefs(c, refs)
+	return c.Stats().MissRate()
+}
+
+// deRate runs dynamic exclusion (ideal table, assume-hit default).
+func deRate(refs []trace.Ref, geom cache.Geometry, lastLine bool) float64 {
+	c := core.Must(core.Config{
+		Geometry:    geom,
+		Store:       core.NewTableStore(true),
+		UseLastLine: lastLine,
+	})
+	cache.RunRefs(c, refs)
+	return c.Stats().MissRate()
+}
+
+// optRate runs the optimal direct-mapped cache with bypass.
+func optRate(refs []trace.Ref, geom cache.Geometry, lastLine bool) float64 {
+	return opt.SimulateDM(refs, geom, lastLine).MissRate()
+}
+
+// kindOf selects a stream from the workload cache.
+type kindOf func(w *Workloads, name string) []trace.Ref
+
+func instrKind(w *Workloads, name string) []trace.Ref { return w.Instr(name) }
+func dataKind(w *Workloads, name string) []trace.Ref  { return w.Data(name) }
+func mixedKind(w *Workloads, name string) []trace.Ref { return w.Mixed(name) }
+
+// forEachBenchmark runs f concurrently for every benchmark (simulations
+// over different benchmarks are independent). Streams are materialized
+// serially first because the workload cache is not goroutine-safe; f
+// receives the suite index so callers write into pre-sized slices.
+func forEachBenchmark(w *Workloads, kind kindOf, f func(i int, refs []trace.Ref)) {
+	names := w.Names()
+	streams := make([][]trace.Ref, len(names))
+	for i, name := range names {
+		streams[i] = kind(w, name)
+	}
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i, streams[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// suiteRates runs one rate function per benchmark concurrently and
+// returns the per-benchmark results in suite order.
+func suiteRates(w *Workloads, kind kindOf, rate func(refs []trace.Ref) float64) []float64 {
+	out := make([]float64, len(w.Names()))
+	forEachBenchmark(w, kind, func(i int, refs []trace.Ref) {
+		out[i] = rate(refs)
+	})
+	return out
+}
+
+// sweepAverages computes suite-average miss-rate curves for the three
+// policies over the given cache sizes at one line size. The paper's
+// Figures 4, 11, 12, 14, and 15 are all instances of this sweep.
+func sweepAverages(w *Workloads, kind kindOf, sizes []uint64, lineSize uint64, lastLine bool) (dm, de, op metrics.Series) {
+	dm.Name, de.Name, op.Name = "direct-mapped", "dynamic exclusion", "optimal direct-mapped"
+	for _, size := range sizes {
+		geom := cache.DM(size, lineSize)
+		n := len(w.Names())
+		dms, des, ops := make([]float64, n), make([]float64, n), make([]float64, n)
+		forEachBenchmark(w, kind, func(i int, refs []trace.Ref) {
+			dms[i] = dmRate(refs, geom)
+			des[i] = deRate(refs, geom, lastLine)
+			ops[i] = optRate(refs, geom, lastLine)
+		})
+		x := float64(size) / 1024
+		dm.Points = append(dm.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(dms)})
+		de.Points = append(de.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(des)})
+		op.Points = append(op.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(ops)})
+	}
+	return dm, de, op
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(w *Workloads) fmt.Stringer
+}
+
+// Registry returns every experiment in presentation order.
+func Registry() []Runner {
+	return []Runner{
+		{"sec3", "Section 3: analytic vs simulated conflict patterns", func(w *Workloads) fmt.Stringer { return Sec3() }},
+		{"fig03", "Figure 3: per-benchmark I-cache miss rate (32KB, 4B lines)", func(w *Workloads) fmt.Stringer { return Fig03(w) }},
+		{"fig04", "Figure 4: average I-cache miss rate vs cache size (4B lines)", func(w *Workloads) fmt.Stringer { return Fig04(w) }},
+		{"fig05", "Figure 5: miss-rate reduction vs cache size (4B lines)", func(w *Workloads) fmt.Stringer { return Fig05(w) }},
+		{"fig07", "Figure 7: L1 miss rate vs relative L2 size per hit-last strategy", func(w *Workloads) fmt.Stringer { return Fig07(w) }},
+		{"fig08", "Figure 8: global L2 miss rate vs L2 size per strategy", func(w *Workloads) fmt.Stringer { return Fig08(w) }},
+		{"fig09", "Figure 9: L2 miss-rate improvement vs L2 size", func(w *Workloads) fmt.Stringer { return Fig09(w) }},
+		{"fig11", "Figure 11: I-cache miss rate vs line size (32KB)", func(w *Workloads) fmt.Stringer { return Fig11(w) }},
+		{"fig12", "Figure 12: improvement vs cache size (16B lines)", func(w *Workloads) fmt.Stringer { return Fig12(w) }},
+		{"fig13", "Figure 13: dynamic exclusion vs doubled capacity (16B lines)", func(w *Workloads) fmt.Stringer { return Fig13(w) }},
+		{"fig14", "Figure 14: data-cache miss rate vs cache size (4B lines)", func(w *Workloads) fmt.Stringer { return Fig14(w) }},
+		{"fig15", "Figure 15: combined I+D cache miss rate vs cache size (4B lines)", func(w *Workloads) fmt.Stringer { return Fig15(w) }},
+		{"ablations", "Ablations: sticky depth, hashed bits, cold start, victim, last-line", func(w *Workloads) fmt.Stringer { return Ablations(w) }},
+		{"assoc", "Extra: direct-mapped vs set-associative vs dynamic exclusion", func(w *Workloads) fmt.Stringer { return Assoc(w) }},
+		{"amat", "Extra: average memory access time (the §1 hit-time argument)", func(w *Workloads) fmt.Stringer { return Amat(w) }},
+		{"static", "Extra: static (profile-guided) exclusion vs dynamic exclusion", func(w *Workloads) fmt.Stringer { return Static(w) }},
+		{"writes", "Extra: data-cache write traffic under exclusion", func(w *Workloads) fmt.Stringer { return Writes(w) }},
+		{"sensitivity", "Extra: seed sensitivity of the headline reduction curve", func(w *Workloads) fmt.Stringer { return Sensitivity(w) }},
+	}
+}
+
+// Lookup finds a runner by id.
+func Lookup(id string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	var ids []string
+	for _, r := range Registry() {
+		ids = append(ids, r.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// standardSizes is the cache-size axis of Figures 4, 5, 12, 14, 15.
+func standardSizes() []uint64 {
+	return []uint64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+}
+
+// kbLabel formats a size axis value.
+func kbLabel(x float64) string { return fmt.Sprintf("%gK", x) }

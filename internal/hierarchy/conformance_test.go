@@ -1,0 +1,33 @@
+package hierarchy_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/conformance"
+	"repro/internal/hierarchy"
+)
+
+// l1View adapts a two-level system to the Simulator interface (the L1
+// view is what the CPU sees).
+type l1View struct{ *hierarchy.System }
+
+func (v l1View) Stats() cache.Stats { return v.L1Stats() }
+
+func TestConformance(t *testing.T) {
+	for _, st := range []hierarchy.Strategy{
+		hierarchy.Baseline, hierarchy.AssumeHit, hierarchy.AssumeMiss,
+		hierarchy.Hashed, hierarchy.Ideal,
+	} {
+		st := st
+		conformance.Check(t, "hierarchy-"+st.String(),
+			conformance.Options{EventualHit: true},
+			func() cache.Simulator {
+				return l1View{hierarchy.Must(hierarchy.Config{
+					L1:       cache.DM(16<<10, 16),
+					L2:       cache.DM(64<<10, 16),
+					Strategy: st,
+				})}
+			})
+	}
+}

@@ -1,0 +1,46 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestL2StoreLookupAndNoopWriteback(t *testing.T) {
+	m := newMetaDM(cache.DM(64, 4), false)
+	s := &l2Store{l2: m, def: true}
+	if !s.Lookup(5) {
+		t.Error("missing block should report the default")
+	}
+	m.insert(5*4, false)
+	if s.Lookup(5) {
+		t.Error("stored bit should beat the default")
+	}
+	// Writeback is a no-op by design (the eviction path persists bits).
+	s.Writeback(5, true)
+	if h, _ := m.lookupH(5); h {
+		t.Error("Writeback must not mutate L2 state")
+	}
+}
+
+func TestMetaInsertUpdatesResident(t *testing.T) {
+	m := newMetaDM(cache.DM(64, 4), false)
+	m.insert(0, false)
+	m.insert(0, true) // same block: update in place, no eviction
+	if m.stats.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", m.stats.Evictions)
+	}
+	if h, ok := m.lookupH(0); !ok || !h {
+		t.Error("in-place update lost")
+	}
+	m.setH(0, false)
+	if h, _ := m.lookupH(0); h {
+		t.Error("setH lost")
+	}
+	m.setH(999*4, true) // absent: no-op
+	m.invalidate(0)
+	if m.contains(0) {
+		t.Error("invalidate failed")
+	}
+	m.invalidate(0) // double invalidate: no-op
+}

@@ -1,0 +1,115 @@
+// Package metrics provides the small statistics used to aggregate and
+// compare miss rates across benchmarks and cache configurations, matching
+// how the paper reports its figures (arithmetic averages of per-benchmark
+// miss rates, and percentage reductions relative to a baseline).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice). The
+// paper's "average miss rate across the SPEC benchmarks" is an arithmetic
+// mean of per-benchmark rates.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (0 if any element is <= 0 or
+// the slice is empty). Provided for ratio summaries.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Reduction returns the percentage reduction of value relative to base:
+// 100 * (base - value) / base. Negative means value is worse than base.
+// A zero base yields 0 (no meaningful reduction).
+func Reduction(base, value float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	// Divide before scaling so enormous bases cannot overflow the
+	// intermediate product.
+	return 100 * ((base - value) / base)
+}
+
+// Pct formats x (a fraction) as a percentage string with the given
+// decimals.
+func Pct(x float64, decimals int) string {
+	return fmt.Sprintf("%.*f%%", decimals, 100*x)
+}
+
+// Point is one (x, y) sample of a figure's series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points, one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Ys extracts the y values.
+func (s Series) Ys() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+// At returns the y value at x, or ok=false.
+func (s Series) At(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// PeakY returns the maximum y and its x (zeros for an empty series).
+func (s Series) PeakY() (x, y float64) {
+	if len(s.Points) == 0 {
+		return 0, 0
+	}
+	best := s.Points[0]
+	for _, p := range s.Points[1:] {
+		if p.Y > best.Y {
+			best = p
+		}
+	}
+	return best.X, best.Y
+}
+
+// ReductionSeries builds the percentage-reduction curve of value relative
+// to base at each shared x (skipping x values missing from either).
+func ReductionSeries(name string, base, value Series) Series {
+	out := Series{Name: name}
+	for _, p := range base.Points {
+		if v, ok := value.At(p.X); ok {
+			out.Points = append(out.Points, Point{X: p.X, Y: Reduction(p.Y, v)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean([1 2 3]) != 2")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if !almost(GeoMean([]float64{2, 8}), 4) {
+		t.Errorf("GeoMean([2 8]) = %v", GeoMean([]float64{2, 8}))
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero should be 0")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if !almost(Reduction(10, 6), 40) {
+		t.Errorf("Reduction(10,6) = %v", Reduction(10, 6))
+	}
+	if !almost(Reduction(10, 12), -20) {
+		t.Errorf("Reduction(10,12) = %v", Reduction(10, 12))
+	}
+	if Reduction(0, 5) != 0 {
+		t.Error("Reduction with zero base should be 0")
+	}
+}
+
+func TestReductionBounds(t *testing.T) {
+	// Property: for positive base and 0 <= value <= base, reduction is in
+	// [0, 100].
+	f := func(base, frac float64) bool {
+		base = math.Abs(base) + 1e-6
+		frac = math.Mod(math.Abs(frac), 1)
+		r := Reduction(base, base*frac)
+		return r >= -1e-9 && r <= 100+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.12345, 2); got != "12.35%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1, 0); got != "100%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{Name: "s", Points: []Point{{1, 10}, {2, 30}, {4, 20}}}
+	if ys := s.Ys(); len(ys) != 3 || ys[1] != 30 {
+		t.Errorf("Ys = %v", ys)
+	}
+	if y, ok := s.At(2); !ok || y != 30 {
+		t.Errorf("At(2) = %v, %v", y, ok)
+	}
+	if _, ok := s.At(3); ok {
+		t.Error("At(3) should miss")
+	}
+	x, y := s.PeakY()
+	if x != 2 || y != 30 {
+		t.Errorf("PeakY = %v, %v", x, y)
+	}
+	var empty Series
+	if x, y := empty.PeakY(); x != 0 || y != 0 {
+		t.Error("empty PeakY should be zeros")
+	}
+}
+
+func TestReductionSeries(t *testing.T) {
+	base := Series{Points: []Point{{1, 10}, {2, 20}, {3, 30}}}
+	val := Series{Points: []Point{{1, 5}, {3, 30}}}
+	r := ReductionSeries("r", base, val)
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %v", r.Points)
+	}
+	if !almost(r.Points[0].Y, 50) || !almost(r.Points[1].Y, 0) {
+		t.Errorf("reductions = %v", r.Points)
+	}
+}

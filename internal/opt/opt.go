@@ -1,0 +1,174 @@
+// Package opt implements optimal (Belady-style) replacement simulators.
+//
+// The paper's yardstick is the "optimal direct-mapped cache": blocks are
+// placed exactly where a direct-mapped cache would place them, but the
+// replacement decision uses future knowledge — on a conflict the cache
+// retains whichever of the two blocks is referenced sooner, and a block
+// may be passed to the CPU without ever being stored (bypass). Belady
+// [Bel66] proved the analogous policy optimal for page replacement; per
+// cache set the same exchange argument applies.
+//
+// Because these simulators need the future, they run over a materialized
+// reference slice in two passes: a backward pass computing each
+// reference's next-use distance, then a forward simulation.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// infinity marks a reference whose block is never used again.
+const infinity = math.MaxInt64
+
+// nextUses returns, for every position i, the next position at which
+// refs[i]'s block is referenced again (infinity if never). Blocks are
+// geom-sized.
+func nextUses(refs []trace.Ref, geom cache.Geometry) []int64 {
+	next := make([]int64, len(refs))
+	last := make(map[uint64]int64, 1024)
+	for i := len(refs) - 1; i >= 0; i-- {
+		b := geom.Block(refs[i].Addr)
+		if j, ok := last[b]; ok {
+			next[i] = j
+		} else {
+			next[i] = infinity
+		}
+		last[b] = int64(i)
+	}
+	return next
+}
+
+// SimulateDM runs the optimal direct-mapped cache with bypass over refs.
+// If useLastLine is true the simulator also gets the §6 last-line buffer:
+// consecutive references to the most recently fetched line hit without a
+// replacement decision, matching what the dynamic exclusion hardware is
+// given in the long-line experiments.
+func SimulateDM(refs []trace.Ref, geom cache.Geometry, useLastLine bool) cache.Stats {
+	geom.Ways = 1
+	if err := geom.Validate(); err != nil {
+		panic("opt: " + err.Error())
+	}
+	var stats cache.Stats
+
+	work := refs
+	if useLastLine {
+		// Collapse runs of same-line references: the in-run references
+		// are unconditional buffer hits; only run heads reach the cache.
+		work = make([]trace.Ref, 0, len(refs))
+		haveLast := false
+		var last uint64
+		for _, r := range refs {
+			b := geom.Block(r.Addr)
+			if haveLast && b == last {
+				stats.Record(cache.Hit, false)
+				continue
+			}
+			haveLast = true
+			last = b
+			work = append(work, r)
+		}
+	}
+
+	next := nextUses(work, geom)
+	nsets := geom.Sets()
+	resBlock := make([]uint64, nsets)
+	resNext := make([]int64, nsets)
+	valid := make([]bool, nsets)
+
+	for i, r := range work {
+		b := geom.Block(r.Addr)
+		set := b % nsets
+		if valid[set] && resBlock[set] == b {
+			resNext[set] = next[i]
+			stats.Record(cache.Hit, false)
+			continue
+		}
+		switch {
+		case !valid[set]:
+			valid[set] = true
+			resBlock[set] = b
+			resNext[set] = next[i]
+			stats.Record(cache.MissFill, false)
+		case next[i] < resNext[set]:
+			// The newcomer is needed sooner: replace.
+			resBlock[set] = b
+			resNext[set] = next[i]
+			stats.Record(cache.MissFill, true)
+		default:
+			// The resident is needed sooner (or equally late): bypass.
+			stats.Record(cache.MissBypass, false)
+		}
+	}
+	return stats
+}
+
+// SimulateSetAssoc runs Belady-optimal replacement with bypass on an
+// n-way set-associative cache (Ways = 0 means fully associative). Used by
+// the related-work comparisons.
+func SimulateSetAssoc(refs []trace.Ref, geom cache.Geometry) cache.Stats {
+	if err := geom.Validate(); err != nil {
+		panic("opt: " + err.Error())
+	}
+	next := nextUses(refs, geom)
+	nsets := geom.Sets()
+	ways := geom.WaysPerSet()
+	type slot struct {
+		block uint64
+		next  int64
+		valid bool
+	}
+	sets := make([][]slot, nsets)
+	backing := make([]slot, int(nsets)*ways)
+	for i := range sets {
+		sets[i], backing = backing[:ways:ways], backing[ways:]
+	}
+
+	var stats cache.Stats
+	for i, r := range refs {
+		b := geom.Block(r.Addr)
+		set := sets[b%nsets]
+		hitIdx := -1
+		for w := range set {
+			if set[w].valid && set[w].block == b {
+				hitIdx = w
+				break
+			}
+		}
+		if hitIdx >= 0 {
+			set[hitIdx].next = next[i]
+			stats.Record(cache.Hit, false)
+			continue
+		}
+		empty, worst := -1, -1
+		for w := range set {
+			if !set[w].valid {
+				empty = w
+				break
+			}
+			if worst < 0 || set[w].next > set[worst].next {
+				worst = w
+			}
+		}
+		switch {
+		case empty >= 0:
+			set[empty] = slot{block: b, next: next[i], valid: true}
+			stats.Record(cache.MissFill, false)
+		case next[i] < set[worst].next:
+			// The newcomer is needed before the farthest-future resident.
+			set[worst] = slot{block: b, next: next[i], valid: true}
+			stats.Record(cache.MissFill, true)
+		default:
+			stats.Record(cache.MissBypass, false)
+		}
+	}
+	return stats
+}
+
+// MissRateDM is a convenience wrapper returning just the miss rate of the
+// optimal direct-mapped cache.
+func MissRateDM(refs []trace.Ref, geom cache.Geometry, useLastLine bool) float64 {
+	return SimulateDM(refs, geom, useLastLine).MissRate()
+}

@@ -1,0 +1,247 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/patterns"
+	"repro/internal/trace"
+)
+
+const size = 1 << 10
+
+func geomDM() cache.Geometry { return cache.DM(size, 4) }
+
+// The §3 analytic optimal rates, verified against the simulator.
+
+func TestOptimalWithinLoop(t *testing.T) {
+	refs := patterns.WithinLoop(10).Refs(0, size)
+	got := SimulateDM(refs, geomDM(), false).MissRate()
+	if want := patterns.WithinLoopOPT(10); got != want {
+		t.Errorf("OPT (ab)^10 = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalLoopLevels(t *testing.T) {
+	refs := patterns.LoopLevels(10, 10).Refs(0, size)
+	got := SimulateDM(refs, geomDM(), false).MissRate()
+	if want := patterns.LoopLevelsOPT(10, 10); got != want {
+		t.Errorf("OPT (a^10 b)^10 = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalBetweenLoops(t *testing.T) {
+	refs := patterns.BetweenLoops(10, 10).Refs(0, size)
+	got := SimulateDM(refs, geomDM(), false).MissRate()
+	if want := patterns.BetweenLoopsOPT(10, 10); got != want {
+		t.Errorf("OPT (a^10 b^10)^10 = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalThreeWay(t *testing.T) {
+	refs := patterns.ThreeWay(10).Refs(0, size)
+	got := SimulateDM(refs, geomDM(), false).MissRate()
+	if want := patterns.ThreeWayOPT(10); got != want {
+		t.Errorf("OPT (abc)^10 = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalNeverWorseThanDirectMapped(t *testing.T) {
+	// Property: on any reference stream, the optimal DM cache has at most
+	// as many misses as a conventional DM cache of the same geometry.
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]trace.Ref, int(n)+1)
+		for i := range refs {
+			// Confine to a few conflicting pages to force conflicts.
+			refs[i] = trace.Ref{Addr: uint64(rng.Intn(4))*size + uint64(rng.Intn(64))*4}
+		}
+		dm := cache.MustDirectMapped(geomDM())
+		cache.RunRefs(dm, refs)
+		optStats := SimulateDM(refs, geomDM(), false)
+		if optStats.Accesses != dm.Stats().Accesses {
+			return false
+		}
+		return optStats.Misses <= dm.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalNeverWorseThanDynamicExclusion(t *testing.T) {
+	// Property: dynamic exclusion can approach but not beat optimal.
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]trace.Ref, int(n)+1)
+		for i := range refs {
+			refs[i] = trace.Ref{Addr: uint64(rng.Intn(4))*size + uint64(rng.Intn(64))*4}
+		}
+		de := core.Must(core.Config{Geometry: geomDM(), Store: core.NewTableStore(false)})
+		cache.RunRefs(de, refs)
+		optStats := SimulateDM(refs, geomDM(), false)
+		return optStats.Misses <= de.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicExclusionWithinTwoMissesOnPaperPatterns(t *testing.T) {
+	// The paper's claim for every §3 pattern: "a direct-mapped cache with
+	// dynamic exclusion has at most two more misses than an optimal
+	// direct-mapped cache" regardless of initial state. Check both
+	// cold-start defaults.
+	specs := []patterns.Spec{
+		patterns.BetweenLoops(10, 10),
+		patterns.LoopLevels(10, 10),
+		patterns.WithinLoop(10),
+	}
+	for _, def := range []bool{false, true} {
+		for _, spec := range specs {
+			refs := spec.Refs(0, size)
+			de := core.Must(core.Config{Geometry: geomDM(), Store: core.NewTableStore(def)})
+			cache.RunRefs(de, refs)
+			optMisses := SimulateDM(refs, geomDM(), false).Misses
+			if de.Stats().Misses > optMisses+2 {
+				t.Errorf("%s (default h=%v): DE misses %d, OPT %d; want within 2",
+					spec.Name, def, de.Stats().Misses, optMisses)
+			}
+		}
+	}
+}
+
+func TestNextUses(t *testing.T) {
+	refs := []trace.Ref{{Addr: 0}, {Addr: 4}, {Addr: 0}, {Addr: 16}}
+	// 4B lines: blocks 0,1,0,4.
+	next := nextUses(refs, geomDM())
+	want := []int64{2, infinity, infinity, infinity}
+	for i := range want {
+		if next[i] != want[i] {
+			t.Errorf("next[%d] = %d, want %d", i, next[i], want[i])
+		}
+	}
+}
+
+func TestLastLineCollapsesSequentialRefs(t *testing.T) {
+	g := cache.DM(size, 16)
+	// Four sequential instructions in one line, repeated: without the
+	// buffer each head ref decides; in-run refs always hit.
+	var refs []trace.Ref
+	for rep := 0; rep < 3; rep++ {
+		for a := uint64(0); a < 16; a += 4 {
+			refs = append(refs, trace.Ref{Addr: a})
+		}
+	}
+	s := SimulateDM(refs, g, true)
+	if s.Accesses != 12 {
+		t.Fatalf("accesses = %d, want 12", s.Accesses)
+	}
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (cold only)", s.Misses)
+	}
+}
+
+func TestLastLineAtLeastAsGoodOnConflicts(t *testing.T) {
+	// With a last-line buffer an excluded line still serves its
+	// sequential refs; the (ab)-style line conflict at 16B lines.
+	g := cache.DM(size, 16)
+	var refs []trace.Ref
+	for rep := 0; rep < 10; rep++ {
+		for a := uint64(0); a < 16; a += 4 {
+			refs = append(refs, trace.Ref{Addr: a})
+		}
+		for a := uint64(size); a < size+16; a += 4 {
+			refs = append(refs, trace.Ref{Addr: a})
+		}
+	}
+	with := SimulateDM(refs, g, true)
+	without := SimulateDM(refs, g, false)
+	if with.Misses > without.Misses {
+		t.Errorf("last-line hurt optimal: %d > %d", with.Misses, without.Misses)
+	}
+	// 80 refs; buffer serves 3 of every 4: only 20 head refs decide; of
+	// those one line is kept (hits 9 times), so 11 misses.
+	if with.Misses != 11 {
+		t.Errorf("misses = %d, want 11", with.Misses)
+	}
+}
+
+func TestSetAssocOptimalBasic(t *testing.T) {
+	// 2-way set: (ab)^10 fits entirely; only cold misses.
+	g := cache.Geometry{Size: size, LineSize: 4, Ways: 2}
+	refs := patterns.WithinLoop(10).Refs(0, size/2) // both map to one set
+	s := SimulateSetAssoc(refs, g)
+	if s.Misses != 2 {
+		t.Errorf("misses = %d, want 2", s.Misses)
+	}
+}
+
+func TestSetAssocOptimalBypasses(t *testing.T) {
+	// (abc)^10 in a 2-way set: optimal keeps two of the three resident
+	// and bypasses the third: 2 cold + 10 misses for c... the exchange:
+	// per cycle exactly one miss after warmup.
+	g := cache.Geometry{Size: size, LineSize: 4, Ways: 2}
+	refs := patterns.ThreeWay(10).Refs(0, size/2)
+	s := SimulateSetAssoc(refs, g)
+	if s.Misses != 12 {
+		t.Errorf("misses = %d, want 12 (2 cold + 10 steady)", s.Misses)
+	}
+	if s.Bypasses == 0 {
+		t.Error("optimal set-associative should bypass here")
+	}
+}
+
+func TestSetAssocOptimalNeverWorseThanLRU(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := cache.Geometry{Size: 256, LineSize: 4, Ways: 4}
+		refs := make([]trace.Ref, int(n)+1)
+		for i := range refs {
+			refs[i] = trace.Ref{Addr: uint64(rng.Intn(1 << 11))}
+		}
+		lru := cache.MustSetAssoc(g, cache.LRU, 1)
+		cache.RunRefs(lru, refs)
+		return SimulateSetAssoc(refs, g).Misses <= lru.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullyAssociativeOptimal(t *testing.T) {
+	g := cache.Geometry{Size: 16, LineSize: 4, Ways: 0} // 4 lines, fully assoc
+	// 5 blocks round-robin: Belady keeps 4... with bypass the best is to
+	// pin 3 and alternate? Just sanity-check bounds.
+	var refs []trace.Ref
+	for rep := 0; rep < 20; rep++ {
+		for b := uint64(0); b < 5; b++ {
+			refs = append(refs, trace.Ref{Addr: b * 4})
+		}
+	}
+	s := SimulateSetAssoc(refs, g)
+	lru := cache.MustSetAssoc(g, cache.LRU, 1)
+	cache.RunRefs(lru, refs)
+	if s.Misses >= lru.Stats().Misses {
+		t.Errorf("OPT %d misses, LRU %d; OPT should win on cyclic overflow", s.Misses, lru.Stats().Misses)
+	}
+}
+
+func TestMissRateDMWrapper(t *testing.T) {
+	refs := patterns.WithinLoop(10).Refs(0, size)
+	if got := MissRateDM(refs, geomDM(), false); got != patterns.WithinLoopOPT(10) {
+		t.Errorf("MissRateDM = %v", got)
+	}
+}
+
+func TestSimulateDMPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on invalid geometry")
+		}
+	}()
+	SimulateDM(nil, cache.Geometry{Size: 3, LineSize: 4}, false)
+}

@@ -1,0 +1,146 @@
+// Package patterns generates the canonical loop-conflict reference
+// patterns of Section 3 of the paper, together with their analytic miss
+// rates for a conventional direct-mapped cache and for an optimal
+// direct-mapped cache (Belady replacement with bypass).
+//
+// In the paper's notation, exponents repeat a subsequence: (a¹⁰b)¹⁰ is ten
+// iterations of "a ten times, then b once". The instructions a, b, c, ...
+// are distinct addresses that all map to the same line of a direct-mapped
+// cache, which the generators arrange by spacing them exactly one cache
+// size apart.
+package patterns
+
+import "repro/internal/trace"
+
+// Step is one run of repeated references to a single instruction.
+type Step struct {
+	Sym   byte // which conflicting instruction: 'a', 'b', 'c', ...
+	Count int  // how many consecutive executions
+}
+
+// Spec is a conflict pattern: an inner sequence of steps repeated Outer
+// times. All symbols map to the same direct-mapped cache line.
+type Spec struct {
+	Name  string
+	Inner []Step
+	Outer int
+}
+
+// Refs expands the pattern into a reference slice. base is the address of
+// instruction 'a'; conflictStride is the distance between conflicting
+// instructions and must be the direct-mapped cache size (so every symbol
+// maps to the same line).
+func (s Spec) Refs(base, conflictStride uint64) []trace.Ref {
+	n := 0
+	for _, st := range s.Inner {
+		n += st.Count
+	}
+	out := make([]trace.Ref, 0, n*s.Outer)
+	for i := 0; i < s.Outer; i++ {
+		for _, st := range s.Inner {
+			addr := base + uint64(st.Sym-'a')*conflictStride
+			for j := 0; j < st.Count; j++ {
+				out = append(out, trace.Ref{Addr: addr, Kind: trace.Instr})
+			}
+		}
+	}
+	return out
+}
+
+// Len returns the total number of references the pattern expands to.
+func (s Spec) Len() int {
+	n := 0
+	for _, st := range s.Inner {
+		n += st.Count
+	}
+	return n * s.Outer
+}
+
+// BetweenLoops is the paper's first pattern, (aᴺ bᴺ)ᴹ: two separate loops
+// executed alternately (conflict between loops). A conventional
+// direct-mapped cache is already optimal here.
+func BetweenLoops(n, m int) Spec {
+	return Spec{
+		Name:  "between-loops",
+		Inner: []Step{{'a', n}, {'b', n}},
+		Outer: m,
+	}
+}
+
+// LoopLevels is the paper's second pattern, (aᴺ b)ᴹ: an instruction inside
+// a loop conflicting with one outside it (conflict between loop levels).
+// Every execution of b costs a conventional cache two misses; an optimal
+// cache keeps a resident and lets b bypass.
+func LoopLevels(n, m int) Spec {
+	return Spec{
+		Name:  "loop-levels",
+		Inner: []Step{{'a', n}, {'b', 1}},
+		Outer: m,
+	}
+}
+
+// WithinLoop is the paper's third pattern, (ab)ᴺ: two instructions in the
+// same loop body. A conventional cache thrashes (100% misses); an optimal
+// cache keeps one of them resident.
+func WithinLoop(n int) Spec {
+	return Spec{
+		Name:  "within-loop",
+		Inner: []Step{{'a', 1}, {'b', 1}},
+		Outer: n,
+	}
+}
+
+// ThreeWay is the (abc)ᴺ pattern of Section 4: three instructions in one
+// loop mapping to a single line. Both a conventional direct-mapped cache
+// and the single-sticky-bit dynamic exclusion FSM miss on essentially all
+// references; locking one instruction (multi-sticky extension) can help.
+func ThreeWay(n int) Spec {
+	return Spec{
+		Name:  "three-way",
+		Inner: []Step{{'a', 1}, {'b', 1}, {'c', 1}},
+		Outer: n,
+	}
+}
+
+// Analytic miss rates (fraction of references that miss), from Section 3.
+
+// BetweenLoopsDM is the conventional direct-mapped miss rate of (aᴺbᴺ)ᴹ:
+// each loop is reloaded once per outer iteration.
+func BetweenLoopsDM(n, m int) float64 {
+	return float64(2*m) / float64(2*n*m)
+}
+
+// BetweenLoopsOPT equals BetweenLoopsDM: a direct-mapped cache is already
+// optimal for this pattern.
+func BetweenLoopsOPT(n, m int) float64 { return BetweenLoopsDM(n, m) }
+
+// LoopLevelsDM is the conventional direct-mapped miss rate of (aᴺb)ᴹ: b
+// misses and knocks out a, so a misses again on the next iteration.
+func LoopLevelsDM(n, m int) float64 {
+	return float64(2*m) / float64((n+1)*m)
+}
+
+// LoopLevelsOPT is the optimal direct-mapped miss rate of (aᴺb)ᴹ: a is
+// loaded once and kept; b always bypasses.
+func LoopLevelsOPT(n, m int) float64 {
+	return float64(1+m) / float64((n+1)*m)
+}
+
+// WithinLoopDM is the conventional direct-mapped miss rate of (ab)ᴺ:
+// complete thrashing.
+func WithinLoopDM(n int) float64 { return 1.0 }
+
+// WithinLoopOPT is the optimal direct-mapped miss rate of (ab)ᴺ: one
+// instruction is kept and hits after the first iteration.
+func WithinLoopOPT(n int) float64 {
+	return float64(n+1) / float64(2*n)
+}
+
+// ThreeWayDM is the conventional direct-mapped miss rate of (abc)ᴺ.
+func ThreeWayDM(n int) float64 { return 1.0 }
+
+// ThreeWayOPT is the optimal direct-mapped miss rate of (abc)ᴺ: one of the
+// three is kept resident (after its first load) and hits every cycle.
+func ThreeWayOPT(n int) float64 {
+	return float64(2*n+1) / float64(3*n)
+}

@@ -1,0 +1,88 @@
+package patterns
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRefsExpansion(t *testing.T) {
+	s := WithinLoop(3) // (ab)^3
+	refs := s.Refs(0x1000, 0x8000)
+	if len(refs) != 6 || s.Len() != 6 {
+		t.Fatalf("len = %d / %d, want 6", len(refs), s.Len())
+	}
+	wantAddrs := []uint64{0x1000, 0x9000, 0x1000, 0x9000, 0x1000, 0x9000}
+	for i, w := range wantAddrs {
+		if refs[i].Addr != w {
+			t.Errorf("ref %d = %#x, want %#x", i, refs[i].Addr, w)
+		}
+		if refs[i].Kind != trace.Instr {
+			t.Errorf("ref %d kind = %v, want Instr", i, refs[i].Kind)
+		}
+	}
+}
+
+func TestBetweenLoopsShape(t *testing.T) {
+	s := BetweenLoops(10, 10)
+	if s.Len() != 200 {
+		t.Errorf("Len = %d, want 200", s.Len())
+	}
+	refs := s.Refs(0, 1<<15)
+	// First 10 refs are a, next 10 are b.
+	for i := 0; i < 10; i++ {
+		if refs[i].Addr != 0 {
+			t.Fatalf("ref %d should be a", i)
+		}
+		if refs[10+i].Addr != 1<<15 {
+			t.Fatalf("ref %d should be b", 10+i)
+		}
+	}
+}
+
+func TestLoopLevelsShape(t *testing.T) {
+	s := LoopLevels(10, 10)
+	if s.Len() != 110 {
+		t.Errorf("Len = %d, want 110", s.Len())
+	}
+}
+
+func TestThreeWayShape(t *testing.T) {
+	refs := ThreeWay(2).Refs(0, 100)
+	wantAddrs := []uint64{0, 100, 200, 0, 100, 200}
+	if len(refs) != 6 {
+		t.Fatalf("len = %d", len(refs))
+	}
+	for i, w := range wantAddrs {
+		if refs[i].Addr != w {
+			t.Errorf("ref %d = %d, want %d", i, refs[i].Addr, w)
+		}
+	}
+}
+
+func TestPaperAnalyticRates(t *testing.T) {
+	// Section 3 of the paper gives these exact numbers for N = M = 10.
+	const eps = 1e-9
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if diff := got - want; diff > eps || diff < -eps {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("BetweenLoopsDM", BetweenLoopsDM(10, 10), 0.10)
+	check("BetweenLoopsOPT", BetweenLoopsOPT(10, 10), 0.10)
+	check("LoopLevelsDM", LoopLevelsDM(10, 10), 2.0/11.0) // ≈18%
+	check("LoopLevelsOPT", LoopLevelsOPT(10, 10), 0.10)
+	check("WithinLoopDM", WithinLoopDM(10), 1.00)
+	check("WithinLoopOPT", WithinLoopOPT(10), 0.55)
+	check("ThreeWayDM", ThreeWayDM(10), 1.00)
+	check("ThreeWayOPT", ThreeWayOPT(10), 0.70)
+}
+
+func TestNamesAssigned(t *testing.T) {
+	for _, s := range []Spec{BetweenLoops(2, 2), LoopLevels(2, 2), WithinLoop(2), ThreeWay(2)} {
+		if s.Name == "" {
+			t.Errorf("pattern with empty name: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package program
+
+// Terse constructors for hand-written workload tables (internal/spec).
+
+// Blk returns a basic block of n instructions.
+func Blk(n int) *Block { return &Block{N: n} }
+
+// BlkData returns a basic block of n instructions issuing data references
+// per spec.
+func BlkData(n int, spec DataSpec) *Block {
+	s := spec
+	return &Block{N: n, Data: &s}
+}
+
+// LoopN returns a loop with a fixed trip count.
+func LoopN(trip int, body ...Node) *Loop {
+	return &Loop{Trip: Fixed(trip), Body: body}
+}
+
+// LoopBetween returns a loop whose trip count is drawn uniformly from
+// [min, max] on each entry.
+func LoopBetween(min, max int, body ...Node) *Loop {
+	return &Loop{Trip: Between(min, max), Body: body}
+}
+
+// Branch returns an If taking then with probability p.
+func Branch(p float64, then, els []Node) *If {
+	return &If{Prob: p, Then: then, Else: els}
+}
+
+// CallTo returns a call node.
+func CallTo(f *Function) *Call { return &Call{Callee: f} }
+
+// Dispatch returns a uniformly weighted switch over the arms.
+func Dispatch(arms ...[]Node) *Switch { return &Switch{Arms: arms} }
+
+// Fn returns a function with the given body.
+func Fn(name string, body ...Node) *Function {
+	return &Function{Name: name, Body: body}
+}
+
+// Seq returns a sequential-walk data spec over [base, base+size).
+func Seq(base, size uint64, refs int) DataSpec {
+	return DataSpec{Pattern: SeqData, Base: base, Size: size, Refs: refs}
+}
+
+// Rand returns a uniform-random data spec over [base, base+size).
+func Rand(base, size uint64, refs int) DataSpec {
+	return DataSpec{Pattern: RandData, Base: base, Size: size, Refs: refs}
+}
+
+// Chase returns a pointer-chase-like data spec over [base, base+size).
+func Chase(base, size uint64, refs int) DataSpec {
+	return DataSpec{Pattern: ChaseData, Base: base, Size: size, Refs: refs}
+}
+
+// Stack returns a stack-walk data spec over [base, base+size).
+func Stack(base, size uint64, refs int) DataSpec {
+	return DataSpec{Pattern: StackData, Base: base, Size: size, Refs: refs}
+}

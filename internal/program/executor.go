@@ -1,0 +1,260 @@
+package program
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// ErrDepth is returned by the executor when the control stack exceeds its
+// bound, which indicates a call cycle between functions (the model supports
+// nested calls but not recursion).
+var ErrDepth = errors.New("program: control stack overflow (recursive calls?)")
+
+// maxFrames bounds the executor's control stack.
+const maxFrames = 1 << 16
+
+// frame is one level of the control stack: a position in a node list, plus
+// loop bookkeeping when the frame replays a loop body.
+type frame struct {
+	nodes     []Node
+	idx       int
+	loop      *Loop // non-nil if this frame is a loop body
+	remaining int   // iterations left including the current one
+}
+
+// blockRun is the micro-state of the basic block currently being emitted.
+type blockRun struct {
+	b *Block
+	i int // instructions emitted so far
+	d int // data references emitted so far
+}
+
+// dataState is the persistent cursor of one DataSpec across executions.
+type dataState struct {
+	cursor uint64 // slot index for seq/chase/stack
+	step   uint64 // slot step for chase (coprime with slot count)
+}
+
+type executor struct {
+	p      *Program
+	rng    *rand.Rand
+	stack  []frame
+	run    blockRun
+	inRun  bool
+	once   bool
+	done   bool
+	states []dataState
+}
+
+func newExecutor(p *Program, seed int64) *executor {
+	e := &executor{
+		p:      p,
+		rng:    rand.New(rand.NewSource(seed)),
+		states: make([]dataState, len(p.specs)+1),
+	}
+	for _, d := range p.specs {
+		slots := d.Size / d.Stride
+		e.states[d.id] = dataState{step: coprimeStep(slots)}
+	}
+	e.start()
+	return e
+}
+
+func (e *executor) start() {
+	e.stack = e.stack[:0]
+	e.stack = append(e.stack, frame{nodes: e.p.Funcs[0].Body})
+}
+
+// Next implements trace.Reader.
+func (e *executor) Next() (trace.Ref, error) {
+	for {
+		if e.done {
+			return trace.Ref{}, io.EOF
+		}
+		if e.inRun {
+			r := &e.run
+			b := r.b
+			// Interleave: after instruction i, data reference d is due
+			// while (d+1)*N <= i*Refs, which spreads Refs references
+			// evenly and finishes them by the end of the block.
+			if d := b.Data; d != nil && r.d < d.Refs && (r.d+1)*b.N <= r.i*d.Refs {
+				ref := e.dataRef(d)
+				r.d++
+				return ref, nil
+			}
+			if r.i < b.N {
+				ref := trace.Ref{Addr: b.addr + uint64(r.i)*InstrBytes, Kind: trace.Instr}
+				r.i++
+				return ref, nil
+			}
+			// Flush any data refs still owed (defensive; the schedule
+			// above finishes them within the block).
+			if d := b.Data; d != nil && r.d < d.Refs {
+				ref := e.dataRef(d)
+				r.d++
+				return ref, nil
+			}
+			e.inRun = false
+		}
+		if err := e.advance(); err != nil {
+			if err == io.EOF {
+				e.done = true
+				return trace.Ref{}, io.EOF
+			}
+			return trace.Ref{}, err
+		}
+	}
+}
+
+// advance steps the control stack until a block begins (e.inRun set) or the
+// program ends (io.EOF when once, restart otherwise).
+func (e *executor) advance() error {
+	for {
+		if len(e.stack) == 0 {
+			if e.once {
+				return io.EOF
+			}
+			e.start()
+		}
+		f := &e.stack[len(e.stack)-1]
+		if f.idx >= len(f.nodes) {
+			if f.loop != nil && f.remaining > 1 {
+				f.remaining--
+				f.idx = 0
+				continue
+			}
+			e.stack = e.stack[:len(e.stack)-1]
+			continue
+		}
+		n := f.nodes[f.idx]
+		f.idx++
+		switch n := n.(type) {
+		case *Block:
+			e.run = blockRun{b: n}
+			e.inRun = true
+			return nil
+		case *Loop:
+			trip := n.Trip.draw(e.rng)
+			if trip > 0 {
+				if err := e.push(frame{nodes: n.Body, loop: n, remaining: trip}); err != nil {
+					return err
+				}
+			}
+		case *If:
+			if e.rng.Float64() < n.Prob {
+				if err := e.push(frame{nodes: n.Then}); err != nil {
+					return err
+				}
+			} else if len(n.Else) > 0 {
+				if err := e.push(frame{nodes: n.Else}); err != nil {
+					return err
+				}
+			}
+		case *Switch:
+			arm := e.pickArm(n)
+			if len(n.Arms[arm]) > 0 {
+				if err := e.push(frame{nodes: n.Arms[arm]}); err != nil {
+					return err
+				}
+			}
+		case *Call:
+			if err := e.push(frame{nodes: n.Callee.Body}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// pickArm draws a switch arm per the weights (uniform when nil).
+func (e *executor) pickArm(n *Switch) int {
+	if n.Weights == nil {
+		return e.rng.Intn(len(n.Arms))
+	}
+	sum := 0.0
+	for _, w := range n.Weights {
+		sum += w
+	}
+	r := e.rng.Float64() * sum
+	for i, w := range n.Weights {
+		if r < w {
+			return i
+		}
+		r -= w
+	}
+	return len(n.Arms) - 1
+}
+
+func (e *executor) push(f frame) error {
+	if len(e.stack) >= maxFrames {
+		return ErrDepth
+	}
+	e.stack = append(e.stack, f)
+	return nil
+}
+
+// dataRef produces the next data reference for spec d.
+func (e *executor) dataRef(d *DataSpec) trace.Ref {
+	st := &e.states[d.id]
+	slots := d.Size / d.Stride
+	var slot uint64
+	switch d.Pattern {
+	case SeqData:
+		slot = st.cursor
+		st.cursor = (st.cursor + 1) % slots
+	case RandData:
+		slot = uint64(e.rng.Int63n(int64(slots)))
+	case ChaseData:
+		slot = st.cursor
+		st.cursor = (st.cursor + st.step) % slots
+	case StackData:
+		slot = st.cursor
+		if e.rng.Intn(2) == 0 {
+			if st.cursor+1 < slots {
+				st.cursor++
+			} else if st.cursor > 0 {
+				st.cursor--
+			}
+		} else {
+			if st.cursor > 0 {
+				st.cursor--
+			} else if st.cursor+1 < slots {
+				st.cursor++
+			}
+		}
+	}
+	kind := trace.Load
+	if d.StoreFrac > 0 && e.rng.Float64() < d.StoreFrac {
+		kind = trace.Store
+	}
+	return trace.Ref{Addr: d.Base + slot*d.Stride, Kind: kind}
+}
+
+// coprimeStep picks a slot step near the golden-ratio fraction of slots
+// that is coprime with slots, giving a fixed full-cycle scrambled visiting
+// order for ChaseData.
+func coprimeStep(slots uint64) uint64 {
+	if slots <= 2 {
+		return 1
+	}
+	step := uint64(float64(slots) * 0.6180339887)
+	if step < 1 {
+		step = 1
+	}
+	for gcd(step, slots) != 1 {
+		step++
+		if step >= slots {
+			step = 1
+		}
+	}
+	return step
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

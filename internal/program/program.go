@@ -1,0 +1,379 @@
+// Package program models synthetic programs and executes them to produce
+// memory-reference streams.
+//
+// The paper traced real SPEC89 binaries with pixie on a DECstation 3100.
+// That substrate is unavailable here, so we substitute a structural program
+// model: a program is a set of functions built from basic blocks, nested
+// loops, conditional branches, and calls. A layout pass assigns every basic
+// block a code address (4 bytes per instruction, functions laid out
+// sequentially), a compile pass flattens the control tree into a tiny
+// virtual machine, and an executor interprets the VM deterministically
+// (seeded PRNG for branch outcomes and data addresses), emitting the same
+// kind of instruction/load/store address stream a tracing tool would.
+//
+// Dynamic exclusion's behavior depends only on which loop-induced conflict
+// patterns appear in the address stream (paper §3); those patterns are
+// exactly what this model produces, so the substitution preserves the
+// behavior under study.
+package program
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// InstrBytes is the size of one instruction; the DECstation 3100 is a MIPS
+// machine with fixed 4-byte instructions.
+const InstrBytes = 4
+
+// Node is one element of a function body: a Block, Loop, If, or Call.
+type Node interface {
+	isNode()
+}
+
+// Block is a straight-line run of instructions, optionally issuing data
+// references interleaved with the instruction fetches.
+type Block struct {
+	// N is the number of instructions in the block. Must be >= 1.
+	N int
+	// Data, if non-nil, describes data references issued while the block
+	// executes.
+	Data *DataSpec
+
+	addr uint64 // assigned by layout
+	id   int    // block index, assigned by layout
+}
+
+func (*Block) isNode() {}
+
+// Addr returns the block's laid-out start address (valid after
+// Program.Layout, which New runs automatically).
+func (b *Block) Addr() uint64 { return b.addr }
+
+// Loop repeats its body a number of times given by Trip.
+type Loop struct {
+	Trip TripCount
+	Body []Node
+}
+
+func (*Loop) isNode() {}
+
+// If executes Then with probability Prob, otherwise Else (either may be
+// empty). The outcome is drawn independently on each execution.
+type If struct {
+	Prob float64
+	Then []Node
+	Else []Node
+}
+
+func (*If) isNode() {}
+
+// Switch executes exactly one of its arms, drawn with the given weights
+// (uniform if Weights is nil). It models multi-way dispatch — interpreter
+// opcode loops, state machines — whose arms are laid out contiguously and
+// executed sparsely.
+type Switch struct {
+	Arms [][]Node
+	// Weights, if non-nil, must have one non-negative entry per arm with
+	// a positive sum.
+	Weights []float64
+}
+
+func (*Switch) isNode() {}
+
+// Call transfers control to another function and returns.
+type Call struct {
+	Callee *Function
+}
+
+func (*Call) isNode() {}
+
+// TripCount determines how many iterations a loop runs on one entry.
+type TripCount struct {
+	// Min and Max bound the iteration count; the count is drawn uniformly
+	// in [Min, Max]. Min == Max gives a fixed trip count.
+	Min, Max int
+}
+
+// Fixed returns a constant trip count.
+func Fixed(n int) TripCount { return TripCount{Min: n, Max: n} }
+
+// Between returns a uniformly random trip count in [min, max].
+func Between(min, max int) TripCount { return TripCount{Min: min, Max: max} }
+
+func (t TripCount) draw(rng *rand.Rand) int {
+	if t.Max <= t.Min {
+		return t.Min
+	}
+	return t.Min + rng.Intn(t.Max-t.Min+1)
+}
+
+// DataPattern selects how a DataSpec produces addresses.
+type DataPattern uint8
+
+const (
+	// SeqData walks an array sequentially with a fixed stride, wrapping at
+	// the end of the region (vector/streaming code: tomcatv, matrix300).
+	SeqData DataPattern = iota
+	// RandData draws uniformly from the region (symbolic code: gcc, li).
+	RandData
+	// ChaseData follows a fixed pseudo-random permutation of the region
+	// (pointer chasing: li, eqntott), revisiting the same sequence of
+	// addresses every cycle through the region.
+	ChaseData
+	// StackData random-walks a stack pointer up and down within the region
+	// (call-intensive code).
+	StackData
+)
+
+// String names the pattern.
+func (p DataPattern) String() string {
+	switch p {
+	case SeqData:
+		return "seq"
+	case RandData:
+		return "rand"
+	case ChaseData:
+		return "chase"
+	case StackData:
+		return "stack"
+	default:
+		return "unknown"
+	}
+}
+
+// DataSpec describes the data references a block issues.
+type DataSpec struct {
+	// Pattern selects the address generator.
+	Pattern DataPattern
+	// Base is the start of the data region.
+	Base uint64
+	// Size is the region size in bytes. Must be a multiple of Stride.
+	Size uint64
+	// Stride is the access granularity in bytes (default 4).
+	Stride uint64
+	// Refs is the number of data references issued per block execution
+	// (default 1). They are spread evenly among the block's instructions.
+	Refs int
+	// StoreFrac is the fraction of data references that are stores, in
+	// [0,1] (default 0: all loads).
+	StoreFrac float64
+
+	id int // assigned by layout
+}
+
+// Function is a named body of nodes. Functions are laid out contiguously in
+// the order they appear in the Program.
+type Function struct {
+	Name string
+	Body []Node
+
+	entry uint64 // assigned by layout
+}
+
+// Entry returns the function's laid-out entry address.
+func (f *Function) Entry() uint64 { return f.entry }
+
+// Program is a complete synthetic program. Funcs[0] is the entry point.
+type Program struct {
+	Name string
+	// Base is the address of the first instruction.
+	Base uint64
+	// Funcs holds every function; execution starts at Funcs[0] and ends
+	// when it returns.
+	Funcs []*Function
+
+	blocks []*Block
+	specs  []*DataSpec
+	size   uint64
+}
+
+// New lays out the program and validates it. The entry function is
+// funcs[0].
+func New(name string, base uint64, funcs ...*Function) (*Program, error) {
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("program %q: no functions", name)
+	}
+	p := &Program{Name: name, Base: base, Funcs: funcs}
+	if err := p.layout(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustNew is New but panics on error; for hand-written workload tables.
+func MustNew(name string, base uint64, funcs ...*Function) *Program {
+	p, err := New(name, base, funcs...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CodeBytes returns the total laid-out code size in bytes.
+func (p *Program) CodeBytes() uint64 { return p.size }
+
+// NumBlocks returns the number of basic blocks after layout.
+func (p *Program) NumBlocks() int { return len(p.blocks) }
+
+// layout assigns addresses to every block and ids to every data spec.
+func (p *Program) layout() error {
+	addr := p.Base
+	seen := map[*Function]bool{}
+	for _, f := range p.Funcs {
+		if f == nil {
+			return fmt.Errorf("program %q: nil function", p.Name)
+		}
+		if seen[f] {
+			return fmt.Errorf("program %q: function %q listed twice", p.Name, f.Name)
+		}
+		seen[f] = true
+		f.entry = addr
+		var err error
+		addr, err = p.layoutNodes(f.Body, addr)
+		if err != nil {
+			return fmt.Errorf("program %q, function %q: %w", p.Name, f.Name, err)
+		}
+	}
+	// Every callee must be a laid-out function of this program.
+	for _, f := range p.Funcs {
+		if err := p.checkCalls(f.Body, seen); err != nil {
+			return fmt.Errorf("program %q, function %q: %w", p.Name, f.Name, err)
+		}
+	}
+	p.size = addr - p.Base
+	return nil
+}
+
+func (p *Program) layoutNodes(nodes []Node, addr uint64) (uint64, error) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *Block:
+			if n.N < 1 {
+				return 0, fmt.Errorf("block with %d instructions", n.N)
+			}
+			if n.addr != 0 || n.id != 0 {
+				return 0, fmt.Errorf("block reused across programs or positions")
+			}
+			n.addr = addr
+			n.id = len(p.blocks) + 1 // 1-based so the zero value means unset
+			p.blocks = append(p.blocks, n)
+			if d := n.Data; d != nil {
+				if d.Stride == 0 {
+					d.Stride = 4
+				}
+				if d.Refs == 0 {
+					d.Refs = 1
+				}
+				if d.Size == 0 || d.Size%d.Stride != 0 {
+					return 0, fmt.Errorf("data spec size %d not a positive multiple of stride %d", d.Size, d.Stride)
+				}
+				if d.id == 0 {
+					d.id = len(p.specs) + 1
+					p.specs = append(p.specs, d)
+				}
+			}
+			addr += uint64(n.N) * InstrBytes
+		case *Loop:
+			if n.Trip.Min < 0 || n.Trip.Max < n.Trip.Min {
+				return 0, fmt.Errorf("bad trip count %+v", n.Trip)
+			}
+			var err error
+			addr, err = p.layoutNodes(n.Body, addr)
+			if err != nil {
+				return 0, err
+			}
+		case *If:
+			if n.Prob < 0 || n.Prob > 1 {
+				return 0, fmt.Errorf("branch probability %v out of [0,1]", n.Prob)
+			}
+			var err error
+			if addr, err = p.layoutNodes(n.Then, addr); err != nil {
+				return 0, err
+			}
+			if addr, err = p.layoutNodes(n.Else, addr); err != nil {
+				return 0, err
+			}
+		case *Switch:
+			if len(n.Arms) == 0 {
+				return 0, fmt.Errorf("switch with no arms")
+			}
+			if n.Weights != nil {
+				if len(n.Weights) != len(n.Arms) {
+					return 0, fmt.Errorf("switch with %d arms but %d weights", len(n.Arms), len(n.Weights))
+				}
+				sum := 0.0
+				for _, w := range n.Weights {
+					if w < 0 {
+						return 0, fmt.Errorf("negative switch weight %v", w)
+					}
+					sum += w
+				}
+				if sum <= 0 {
+					return 0, fmt.Errorf("switch weights sum to %v", sum)
+				}
+			}
+			for _, arm := range n.Arms {
+				var err error
+				if addr, err = p.layoutNodes(arm, addr); err != nil {
+					return 0, err
+				}
+			}
+		case *Call:
+			if n.Callee == nil {
+				return 0, fmt.Errorf("call with nil callee")
+			}
+		default:
+			return 0, fmt.Errorf("unknown node type %T", n)
+		}
+	}
+	return addr, nil
+}
+
+func (p *Program) checkCalls(nodes []Node, known map[*Function]bool) error {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *Loop:
+			if err := p.checkCalls(n.Body, known); err != nil {
+				return err
+			}
+		case *If:
+			if err := p.checkCalls(n.Then, known); err != nil {
+				return err
+			}
+			if err := p.checkCalls(n.Else, known); err != nil {
+				return err
+			}
+		case *Switch:
+			for _, arm := range n.Arms {
+				if err := p.checkCalls(arm, known); err != nil {
+					return err
+				}
+			}
+		case *Call:
+			if !known[n.Callee] {
+				return fmt.Errorf("call to function %q not in program", n.Callee.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Run returns an endless-until-program-exit reference stream for the
+// program. The stream is deterministic for a given seed. If the program's
+// entry function returns, the executor restarts it from the top (modeling
+// an outer driver loop), so the stream never ends on its own; wrap it in
+// trace.Limit or pass a bound to trace.Collect.
+func (p *Program) Run(seed int64) trace.Reader {
+	return newExecutor(p, seed)
+}
+
+// RunOnce is like Run but the stream ends (io.EOF) when the entry function
+// returns.
+func (p *Program) RunOnce(seed int64) trace.Reader {
+	e := newExecutor(p, seed)
+	e.once = true
+	return e
+}

@@ -1,0 +1,471 @@
+package program
+
+import (
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func collectOnce(t *testing.T, p *Program, seed int64) []trace.Ref {
+	t.Helper()
+	refs, err := trace.Collect(p.RunOnce(seed), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return refs
+}
+
+func TestLayoutSequentialAddresses(t *testing.T) {
+	b1, b2 := Blk(3), Blk(2)
+	f := Fn("main", b1, b2)
+	p, err := New("t", 0x1000, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Addr() != 0x1000 {
+		t.Errorf("b1 at %#x, want 0x1000", b1.Addr())
+	}
+	if b2.Addr() != 0x1000+3*InstrBytes {
+		t.Errorf("b2 at %#x, want %#x", b2.Addr(), 0x1000+3*InstrBytes)
+	}
+	if p.CodeBytes() != 5*InstrBytes {
+		t.Errorf("CodeBytes = %d, want %d", p.CodeBytes(), 5*InstrBytes)
+	}
+	if p.NumBlocks() != 2 {
+		t.Errorf("NumBlocks = %d, want 2", p.NumBlocks())
+	}
+}
+
+func TestLayoutFunctionsContiguous(t *testing.T) {
+	g := Fn("g", Blk(4))
+	f := Fn("f", Blk(2), CallTo(g))
+	p, err := New("t", 0, f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Entry() != 0 {
+		t.Errorf("f at %#x", f.Entry())
+	}
+	if g.Entry() != 2*InstrBytes {
+		t.Errorf("g at %#x, want %#x", g.Entry(), 2*InstrBytes)
+	}
+	if p.CodeBytes() != 6*InstrBytes {
+		t.Errorf("CodeBytes = %d", p.CodeBytes())
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	if _, err := New("t", 0); err == nil {
+		t.Error("no functions should error")
+	}
+	if _, err := New("t", 0, Fn("f", Blk(0))); err == nil {
+		t.Error("empty block should error")
+	}
+	if _, err := New("t", 0, Fn("f", &If{Prob: 1.5})); err == nil {
+		t.Error("bad probability should error")
+	}
+	if _, err := New("t", 0, Fn("f", &Loop{Trip: TripCount{Min: 5, Max: 2}})); err == nil {
+		t.Error("bad trip count should error")
+	}
+	if _, err := New("t", 0, Fn("f", &Call{})); err == nil {
+		t.Error("nil callee should error")
+	}
+	outside := Fn("outside", Blk(1))
+	if _, err := New("t", 0, Fn("f", CallTo(outside))); err == nil {
+		t.Error("call to foreign function should error")
+	}
+	shared := Blk(1)
+	if _, err := New("t", 0, Fn("f", shared, shared)); err == nil {
+		t.Error("reused block should error")
+	}
+	fn := Fn("f", Blk(1))
+	if _, err := New("t", 0, fn, fn); err == nil {
+		t.Error("function listed twice should error")
+	}
+	bad := DataSpec{Pattern: SeqData, Size: 6, Stride: 4}
+	if _, err := New("t", 0, Fn("f", &Block{N: 1, Data: &bad})); err == nil {
+		t.Error("size not multiple of stride should error")
+	}
+}
+
+func TestStraightLineExecution(t *testing.T) {
+	p := MustNew("t", 0x100, Fn("main", Blk(3)))
+	got := collectOnce(t, p, 1)
+	want := []trace.Ref{
+		{Addr: 0x100, Kind: trace.Instr},
+		{Addr: 0x104, Kind: trace.Instr},
+		{Addr: 0x108, Kind: trace.Instr},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLoopExecution(t *testing.T) {
+	p := MustNew("t", 0, Fn("main", LoopN(3, Blk(2))))
+	got := collectOnce(t, p, 1)
+	if len(got) != 6 {
+		t.Fatalf("got %d refs, want 6: %v", len(got), got)
+	}
+	for i, r := range got {
+		want := uint64((i % 2) * InstrBytes)
+		if r.Addr != want {
+			t.Errorf("ref %d addr %#x, want %#x", i, r.Addr, want)
+		}
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	p := MustNew("t", 0, Fn("main",
+		LoopN(2, Blk(1), LoopN(3, Blk(1))),
+	))
+	got := collectOnce(t, p, 1)
+	// Each outer iteration: 1 + 3 = 4 refs; 2 iterations = 8.
+	if len(got) != 8 {
+		t.Fatalf("got %d refs, want 8", len(got))
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	p := MustNew("t", 0, Fn("main", LoopN(0, Blk(1)), Blk(1)))
+	got := collectOnce(t, p, 1)
+	if len(got) != 1 {
+		t.Errorf("zero-trip loop body executed: %v", got)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	g := Fn("g", Blk(1))
+	f := Fn("f", Blk(1), CallTo(g), Blk(1))
+	p := MustNew("t", 0, f, g)
+	got := collectOnce(t, p, 1)
+	// f block (addr 0), g block (addr 8), f block2 (addr 4).
+	wantAddrs := []uint64{0, 8, 4}
+	if len(got) != 3 {
+		t.Fatalf("got %d refs: %v", len(got), got)
+	}
+	for i, w := range wantAddrs {
+		if got[i].Addr != w {
+			t.Errorf("ref %d addr %#x, want %#x", i, got[i].Addr, w)
+		}
+	}
+}
+
+func TestBranchProbabilities(t *testing.T) {
+	then, els := Blk(1), Blk(1)
+	p := MustNew("t", 0, Fn("main",
+		LoopN(10000, &If{Prob: 0.25, Then: []Node{then}, Else: []Node{els}}),
+	))
+	got := collectOnce(t, p, 42)
+	takes := 0
+	for _, r := range got {
+		if r.Addr == then.Addr() {
+			takes++
+		}
+	}
+	if len(got) != 10000 {
+		t.Fatalf("got %d refs", len(got))
+	}
+	if takes < 2200 || takes > 2800 {
+		t.Errorf("took then %d/10000 times, want ~2500", takes)
+	}
+}
+
+func TestBranchAlwaysAndNever(t *testing.T) {
+	then, els := Blk(1), Blk(1)
+	p := MustNew("t", 0, Fn("main",
+		LoopN(100, &If{Prob: 1, Then: []Node{then}, Else: []Node{els}}),
+	))
+	for _, r := range collectOnce(t, p, 7) {
+		if r.Addr != then.Addr() {
+			t.Fatalf("Prob=1 executed else")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Program {
+		return MustNew("t", 0, Fn("main",
+			LoopBetween(1, 10,
+				Branch(0.5, []Node{BlkData(2, Rand(0x10000, 256, 2))}, []Node{Blk(3)}),
+			),
+		))
+	}
+	a := collectOnce(t, mk(), 99)
+	b := collectOnce(t, mk(), 99)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed should give identical streams")
+	}
+	c := collectOnce(t, mk(), 100)
+	if reflect.DeepEqual(a, c) && len(a) > 0 {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestRunRestarts(t *testing.T) {
+	p := MustNew("t", 0, Fn("main", Blk(2)))
+	refs, err := trace.Collect(p.Run(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 10 {
+		t.Fatalf("Run should restart forever, got %d refs", len(refs))
+	}
+	for i, r := range refs {
+		want := uint64((i % 2) * InstrBytes)
+		if r.Addr != want {
+			t.Errorf("ref %d addr %#x, want %#x", i, r.Addr, want)
+		}
+	}
+}
+
+func TestRunOnceEOF(t *testing.T) {
+	p := MustNew("t", 0, Fn("main", Blk(1)))
+	r := p.RunOnce(1)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("EOF should be sticky, got %v", err)
+	}
+}
+
+func TestRecursionDetected(t *testing.T) {
+	f := Fn("f", Blk(1))
+	f.Body = append(f.Body, CallTo(f)) // direct recursion
+	p := MustNew("t", 0, f)
+	r := p.RunOnce(1)
+	var err error
+	for i := 0; i < 1<<22; i++ {
+		if _, err = r.Next(); err != nil {
+			break
+		}
+	}
+	if err != ErrDepth {
+		t.Fatalf("want ErrDepth, got %v", err)
+	}
+}
+
+func TestSeqDataWrapsAndInterleaves(t *testing.T) {
+	p := MustNew("t", 0, Fn("main",
+		LoopN(3, BlkData(2, Seq(0x1000, 8, 1))), // 2 slots of 4B
+	))
+	got := collectOnce(t, p, 1)
+	var data []uint64
+	for _, r := range got {
+		if r.Kind.IsData() {
+			data = append(data, r.Addr)
+		}
+	}
+	want := []uint64{0x1000, 0x1004, 0x1000}
+	if !reflect.DeepEqual(data, want) {
+		t.Errorf("seq data = %#x, want %#x", data, want)
+	}
+}
+
+func TestDataRefCountPerBlock(t *testing.T) {
+	p := MustNew("t", 0, Fn("main",
+		LoopN(5, BlkData(4, Seq(0x1000, 1024, 3))),
+	))
+	got := collectOnce(t, p, 1)
+	instr, data := 0, 0
+	for _, r := range got {
+		if r.Kind == trace.Instr {
+			instr++
+		} else {
+			data++
+		}
+	}
+	if instr != 20 || data != 15 {
+		t.Errorf("instr %d data %d, want 20 and 15", instr, data)
+	}
+}
+
+func TestRandDataInRegion(t *testing.T) {
+	base, size := uint64(0x4000), uint64(256)
+	p := MustNew("t", 0, Fn("main", LoopN(200, BlkData(1, Rand(base, size, 1)))))
+	for _, r := range collectOnce(t, p, 5) {
+		if !r.Kind.IsData() {
+			continue
+		}
+		if r.Addr < base || r.Addr >= base+size {
+			t.Fatalf("data ref %#x outside [%#x,%#x)", r.Addr, base, base+size)
+		}
+		if r.Addr%4 != 0 {
+			t.Fatalf("data ref %#x not stride aligned", r.Addr)
+		}
+	}
+}
+
+func TestChaseDataCoversRegion(t *testing.T) {
+	base, size := uint64(0), uint64(64) // 16 slots
+	p := MustNew("t", 0, Fn("main", LoopN(16, BlkData(1, Chase(base, size, 1)))))
+	seen := map[uint64]bool{}
+	for _, r := range collectOnce(t, p, 3) {
+		if r.Kind.IsData() {
+			seen[r.Addr] = true
+		}
+	}
+	if len(seen) != 16 {
+		t.Errorf("chase visited %d distinct slots in one cycle, want 16", len(seen))
+	}
+}
+
+func TestStackDataStaysInRegion(t *testing.T) {
+	base, size := uint64(0x8000), uint64(64)
+	p := MustNew("t", 0, Fn("main", LoopN(500, BlkData(1, Stack(base, size, 1)))))
+	prev := int64(-1)
+	for _, r := range collectOnce(t, p, 11) {
+		if !r.Kind.IsData() {
+			continue
+		}
+		if r.Addr < base || r.Addr >= base+size {
+			t.Fatalf("stack ref %#x out of region", r.Addr)
+		}
+		if prev >= 0 {
+			d := int64(r.Addr) - prev
+			if d > 4 || d < -4 {
+				t.Fatalf("stack moved by %d bytes, want |d| <= 4", d)
+			}
+		}
+		prev = int64(r.Addr)
+	}
+}
+
+func TestStoreFraction(t *testing.T) {
+	spec := DataSpec{Pattern: RandData, Base: 0, Size: 1024, Refs: 1, StoreFrac: 0.5}
+	p := MustNew("t", 0, Fn("main", LoopN(4000, BlkData(1, spec))))
+	loads, stores := 0, 0
+	for _, r := range collectOnce(t, p, 3) {
+		switch r.Kind {
+		case trace.Load:
+			loads++
+		case trace.Store:
+			stores++
+		}
+	}
+	if stores < 1600 || stores > 2400 {
+		t.Errorf("stores = %d of %d, want ~2000", stores, loads+stores)
+	}
+}
+
+func TestCoprimeStepProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		slots := uint64(n) + 1
+		s := coprimeStep(slots)
+		return s >= 1 && s <= slots && gcd(s, slots) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripCountDraw(t *testing.T) {
+	p := MustNew("t", 0, Fn("main", LoopBetween(2, 4, Blk(1))))
+	counts := map[int]int{}
+	for seed := int64(0); seed < 200; seed++ {
+		n := len(collectOnce(t, p, seed))
+		counts[n]++
+	}
+	for n := range counts {
+		if n < 2 || n > 4 {
+			t.Errorf("trip count %d outside [2,4]", n)
+		}
+	}
+	if len(counts) < 2 {
+		t.Errorf("trip counts not varying: %v", counts)
+	}
+}
+
+func TestSwitchUniformDispatch(t *testing.T) {
+	a, b, c := Blk(1), Blk(1), Blk(1)
+	p := MustNew("t", 0, Fn("main",
+		LoopN(3000, Dispatch([]Node{a}, []Node{b}, []Node{c})),
+	))
+	counts := map[uint64]int{}
+	for _, r := range collectOnce(t, p, 5) {
+		counts[r.Addr]++
+	}
+	for _, blk := range []*Block{a, b, c} {
+		n := counts[blk.Addr()]
+		if n < 800 || n > 1200 {
+			t.Errorf("arm at %#x executed %d/3000 times, want ~1000", blk.Addr(), n)
+		}
+	}
+}
+
+func TestSwitchWeights(t *testing.T) {
+	hot, cold := Blk(1), Blk(1)
+	p := MustNew("t", 0, Fn("main",
+		LoopN(2000, &Switch{
+			Arms:    [][]Node{{hot}, {cold}},
+			Weights: []float64{9, 1},
+		}),
+	))
+	counts := map[uint64]int{}
+	for _, r := range collectOnce(t, p, 5) {
+		counts[r.Addr]++
+	}
+	if h := counts[hot.Addr()]; h < 1650 || h > 1950 {
+		t.Errorf("hot arm executed %d/2000, want ~1800", h)
+	}
+}
+
+func TestSwitchArmsLaidOutContiguously(t *testing.T) {
+	a, b := Blk(2), Blk(3)
+	tail := Blk(1)
+	p := MustNew("t", 0x100, Fn("main", Dispatch([]Node{a}, []Node{b}), tail))
+	if a.Addr() != 0x100 {
+		t.Errorf("arm a at %#x", a.Addr())
+	}
+	if b.Addr() != 0x108 {
+		t.Errorf("arm b at %#x", b.Addr())
+	}
+	if tail.Addr() != 0x114 {
+		t.Errorf("tail at %#x", tail.Addr())
+	}
+	_ = p
+}
+
+func TestSwitchEmptyArmAllowed(t *testing.T) {
+	p := MustNew("t", 0, Fn("main",
+		LoopN(100, &Switch{Arms: [][]Node{{Blk(1)}, {}}}),
+	))
+	refs := collectOnce(t, p, 3)
+	if len(refs) == 0 || len(refs) >= 100 {
+		t.Errorf("got %d refs, want some but fewer than 100 (empty arm taken sometimes)", len(refs))
+	}
+}
+
+func TestSwitchValidation(t *testing.T) {
+	if _, err := New("t", 0, Fn("f", &Switch{})); err == nil {
+		t.Error("no arms accepted")
+	}
+	if _, err := New("t", 0, Fn("f", &Switch{Arms: [][]Node{{Blk(1)}}, Weights: []float64{1, 2}})); err == nil {
+		t.Error("weight/arm mismatch accepted")
+	}
+	if _, err := New("t", 0, Fn("f", &Switch{Arms: [][]Node{{Blk(1)}}, Weights: []float64{-1}})); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := New("t", 0, Fn("f", &Switch{Arms: [][]Node{{Blk(1)}}, Weights: []float64{0}})); err == nil {
+		t.Error("zero-sum weights accepted")
+	}
+	callee := Fn("g", Blk(1))
+	if _, err := New("t", 0, Fn("f", &Switch{Arms: [][]Node{{CallTo(callee)}}})); err == nil {
+		t.Error("switch arm calling a foreign function accepted")
+	}
+}
+
+func TestDataPatternString(t *testing.T) {
+	if SeqData.String() != "seq" || RandData.String() != "rand" ||
+		ChaseData.String() != "chase" || StackData.String() != "stack" ||
+		DataPattern(99).String() != "unknown" {
+		t.Error("DataPattern.String mismatch")
+	}
+}

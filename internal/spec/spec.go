@@ -1,0 +1,320 @@
+// Package spec models the paper's workload: the ten SPEC89 benchmarks of
+// Figure 2, traced for their first millions of references.
+//
+// The original evaluation used pixie traces of real binaries on a
+// DECstation 3100; those are unavailable, so each benchmark is substituted
+// by a synthetic program (internal/program) whose *structure* — code
+// footprint, basic-block size, loop nesting, call behavior, and data
+// access pattern — is modeled on the published character of the real
+// program. Dynamic exclusion's behavior depends on the mix of
+// loop-conflict patterns in the reference stream (paper §3), which is
+// precisely what this structure determines; absolute 1992 miss rates are
+// not reproduced, but the qualitative relationships (which benchmarks
+// conflict heavily, how improvement varies with cache and line size) are.
+//
+// Every benchmark is deterministic: the CFG is generated from a fixed
+// per-benchmark seed and executed with a fixed seed.
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Params describes the structural model of one benchmark.
+type Params struct {
+	// Name is the SPEC benchmark name.
+	Name string
+	// Description matches the paper's Figure 2.
+	Description string
+	// CodeKB is the approximate static code footprint in kilobytes.
+	CodeKB int
+	// AvgBlock is the mean basic-block length in instructions (fpppp has
+	// enormous blocks; gcc and li tiny branchy ones).
+	AvgBlock int
+	// Phases is the number of top-level phase functions main cycles
+	// through; more phases means more cross-phase (between-loops)
+	// conflict.
+	Phases int
+	// Helpers is the number of shared leaf functions called from many
+	// phases (loop-level conflicts).
+	Helpers int
+	// LoopDepth is the maximum loop nesting inside a phase.
+	LoopDepth int
+	// HotLoopFrac is the fraction of loops that iterate many times over
+	// a small body (strong temporal locality).
+	HotLoopFrac float64
+	// DataKB is the bulk data working-set size in kilobytes.
+	DataKB int
+	// HotDataKB is the hot data region (globals, top of heap) that takes
+	// a large share of the references; 0 defaults to 4KB. Real data
+	// streams mix stack traffic (near-perfect locality), a hot region,
+	// and bulk-structure traffic; the generator draws each block's data
+	// spec from that mixture.
+	HotDataKB int
+	// DataPattern is the bulk data access pattern.
+	DataPattern program.DataPattern
+	// DataFrac is the fraction of references that are data accesses
+	// (loads+stores); typical programs sit near 0.25–0.4.
+	DataFrac float64
+	// StoreFrac is the fraction of data references that are stores.
+	StoreFrac float64
+	// Seed generates the CFG (and offsets the execution seed).
+	Seed int64
+}
+
+// Benchmark is a generated, laid-out synthetic benchmark.
+type Benchmark struct {
+	Params
+	prog *program.Program
+}
+
+// codeBase spreads benchmarks' code far apart; dataBase likewise (the
+// address spaces never overlap, as separate traced processes' would not
+// collide within one cache simulation run).
+const (
+	codeBase  = 0x0040_0000
+	stackBase = 0x0800_0000
+	hotBase   = 0x0c00_0000
+	dataBase  = 0x1000_0000
+)
+
+// stackKB sizes the stack region every benchmark's stack traffic walks.
+const stackKB = 2
+
+// Build generates the benchmark's program from its parameters.
+func Build(p Params) (Benchmark, error) {
+	g := &gen{
+		p:        p,
+		rng:      rand.New(rand.NewSource(p.Seed)),
+		dataSize: uint64(p.DataKB) << 10,
+	}
+	prog, err := g.build()
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("spec: building %s: %w", p.Name, err)
+	}
+	return Benchmark{Params: p, prog: prog}, nil
+}
+
+// MustBuild is Build but panics on error (the suite table is static).
+func MustBuild(p Params) Benchmark {
+	b, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Program exposes the underlying synthetic program.
+func (b Benchmark) Program() *program.Program { return b.prog }
+
+// Run returns the benchmark's full (instruction + data) reference stream;
+// it restarts endlessly, so bound it with trace.Limit or Collect's max.
+func (b Benchmark) Run() trace.Reader { return b.prog.Run(b.Seed + 1) }
+
+// Instr collects the first n instruction references.
+func (b Benchmark) Instr(n int) []trace.Ref {
+	refs, err := trace.Collect(trace.OnlyInstr(b.Run()), n)
+	if err != nil {
+		panic(err) // the synthetic executor cannot fail mid-stream
+	}
+	return refs
+}
+
+// Data collects the first n data references.
+func (b Benchmark) Data(n int) []trace.Ref {
+	refs, err := trace.Collect(trace.OnlyData(b.Run()), n)
+	if err != nil {
+		panic(err)
+	}
+	return refs
+}
+
+// Mixed collects the first n references of both kinds, as a combined
+// instruction+data cache would see them (§7).
+func (b Benchmark) Mixed(n int) []trace.Ref {
+	refs, err := trace.Collect(b.Run(), n)
+	if err != nil {
+		panic(err)
+	}
+	return refs
+}
+
+// gen builds a random CFG matching Params.
+type gen struct {
+	p        Params
+	rng      *rand.Rand
+	dataSize uint64
+}
+
+func (g *gen) build() (*program.Program, error) {
+	p := g.p
+	targetInstr := p.CodeKB * 1024 / program.InstrBytes
+	phaseBudget := targetInstr * 4 / 5 / max(p.Phases, 1)
+	helperBudget := targetInstr / 5 / max(p.Helpers, 1)
+
+	// Helpers first: phases call into them. Helper bodies are straight-
+	// line (depth 0): every call executes each helper instruction once,
+	// making them the "b" side of loop-level conflicts.
+	helpers := make([]*program.Function, p.Helpers)
+	for i := range helpers {
+		body := g.genBody(helperBudget, 0, nil)
+		helpers[i] = program.Fn(fmt.Sprintf("helper%d", i), body...)
+	}
+
+	phases := make([]*program.Function, p.Phases)
+	for i := range phases {
+		body := g.genBody(phaseBudget, p.LoopDepth, helpers)
+		phases[i] = program.Fn(fmt.Sprintf("phase%d", i), body...)
+	}
+
+	// main cycles through the phases forever (program.Run restarts it).
+	var mainBody []program.Node
+	mainBody = append(mainBody, program.Blk(g.blockLen()))
+	for _, ph := range phases {
+		mainBody = append(mainBody, program.CallTo(ph))
+	}
+	main := program.Fn("main", mainBody...)
+
+	funcs := make([]*program.Function, 0, 1+len(phases)+len(helpers))
+	funcs = append(funcs, main)
+	funcs = append(funcs, phases...)
+	funcs = append(funcs, helpers...)
+	return program.New(p.Name, codeBase, funcs...)
+}
+
+// blockLen draws a basic-block length around AvgBlock.
+func (g *gen) blockLen() int {
+	avg := g.p.AvgBlock
+	if avg < 1 {
+		avg = 4
+	}
+	n := avg/2 + g.rng.Intn(avg) + 1
+	return n
+}
+
+// block creates a basic block, attaching data references so that the
+// overall stream approaches DataFrac. The data spec is drawn from a
+// locality mixture: stack traffic (random walk over a tiny region), hot-
+// region traffic (random within a few KB), and bulk traffic over the full
+// working set with the benchmark's dominant pattern.
+func (g *gen) block() *program.Block {
+	n := g.blockLen()
+	if g.p.DataFrac <= 0 || g.dataSize == 0 {
+		return program.Blk(n)
+	}
+	// refs per block so that data/(data+instr) ≈ DataFrac.
+	refs := int(float64(n)*g.p.DataFrac/(1-g.p.DataFrac) + 0.5)
+	if refs < 1 {
+		// Attach probabilistically to hit the ratio in expectation.
+		if g.rng.Float64() > float64(n)*g.p.DataFrac/(1-g.p.DataFrac) {
+			return program.Blk(n)
+		}
+		refs = 1
+	}
+	hotKB := g.p.HotDataKB
+	if hotKB <= 0 {
+		hotKB = 4
+	}
+	spec := program.DataSpec{
+		Refs:      refs,
+		StoreFrac: g.p.StoreFrac,
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.45:
+		spec.Pattern = program.StackData
+		spec.Base = stackBase
+		spec.Size = stackKB << 10
+	case r < 0.75:
+		spec.Pattern = program.RandData
+		spec.Base = hotBase
+		spec.Size = uint64(hotKB) << 10
+	default:
+		spec.Pattern = g.p.DataPattern
+		spec.Base = dataBase
+		spec.Size = g.dataSize
+	}
+	return program.BlkData(n, spec)
+}
+
+// genBody emits nodes totaling roughly `budget` static instructions.
+// depth bounds loop nesting; callees (may be nil) are candidate call
+// targets.
+//
+// The structure is chosen to produce the paper's §3 conflict patterns at
+// realistic frequencies:
+//
+//   - hot loops: many iterations over a small straight-line body. Their
+//     instructions dominate execution and want to stay cached.
+//   - middle loops: a few iterations over a section mixing hot loops,
+//     straight-line code, and calls to far-away helper functions. Each
+//     iteration re-executes the helper's and section's one-shot
+//     instructions, which conflict with hot-loop instructions elsewhere in
+//     the address space — the loop-level pattern (aᴺb)ᴹ.
+//   - phases executed in turn by main give the between-loops pattern
+//     (aᴺbᴺ)ᴹ across their hot loops.
+func (g *gen) genBody(budget, depth int, callees []*program.Function) []program.Node {
+	var nodes []program.Node
+	for budget > 0 {
+		r := g.rng.Float64()
+		switch {
+		case depth > 0 && r < 0.40 && budget > 4*g.p.AvgBlock:
+			// Hot loop: 1–2 plain blocks, many iterations. These carry
+			// most of the dynamic instruction count, as loops do in real
+			// programs.
+			body := []program.Node{g.block()}
+			if g.rng.Intn(2) == 0 {
+				body = append(body, g.block())
+			}
+			n := 0
+			for _, b := range body {
+				n += b.(*program.Block).N
+			}
+			nodes = append(nodes, &program.Loop{Trip: g.hotTrip(), Body: body})
+			budget -= n
+		case depth > 0 && r < 0.65 && budget > 10*g.p.AvgBlock:
+			// Middle loop: a few iterations over a section small enough
+			// to have locality of its own, usually ending in a call to a
+			// far-away helper.
+			sub := min(budget/2, 64+g.rng.Intn(192))
+			body := g.genBody(sub, depth-1, callees)
+			if len(callees) > 0 && g.rng.Float64() < 0.5 {
+				body = append(body, program.CallTo(callees[g.rng.Intn(len(callees))]))
+			}
+			nodes = append(nodes, &program.Loop{Trip: program.Between(6, 20), Body: body})
+			budget -= sub
+		case r < 0.72 && len(callees) > 0:
+			// A one-shot call preceded by a small setup block.
+			b := g.block()
+			nodes = append(nodes, b, program.CallTo(callees[g.rng.Intn(len(callees))]))
+			budget -= b.N
+		case r < 0.85 && budget > 2*g.p.AvgBlock:
+			// A two-sided branch.
+			then := g.block()
+			els := g.block()
+			nodes = append(nodes, program.Branch(0.2+0.6*g.rng.Float64(),
+				[]program.Node{then}, []program.Node{els}))
+			budget -= then.N + els.N
+		default:
+			b := g.block()
+			nodes = append(nodes, b)
+			budget -= b.N
+		}
+	}
+	if len(nodes) == 0 {
+		nodes = append(nodes, program.Blk(1))
+	}
+	return nodes
+}
+
+// hotTrip draws a hot loop's iteration count. HotLoopFrac biases toward
+// genuinely hot loops; the rest are warm.
+func (g *gen) hotTrip() program.TripCount {
+	if g.rng.Float64() < g.p.HotLoopFrac {
+		return program.Between(200, 600)
+	}
+	return program.Between(50, 150)
+}

@@ -1,0 +1,96 @@
+package spec
+
+import "repro/internal/program"
+
+// SuiteParams lists the structural models for the ten SPEC89 benchmarks of
+// the paper's Figure 2. Footprints and block shapes follow the programs'
+// published character: the symbolic C programs (gcc, li, espresso,
+// eqntott) have large-to-moderate branchy code with small blocks and
+// irregular data; the Fortran floating-point programs (matrix300,
+// tomcatv, nasa7, fpppp, doduc, spice) concentrate time in loop nests,
+// fpppp famously in enormous straight-line basic blocks.
+func SuiteParams() []Params {
+	return []Params{
+		{
+			Name: "doduc", Description: "Monte Carlo simulation",
+			CodeKB: 96, AvgBlock: 10, Phases: 8, Helpers: 16, LoopDepth: 2,
+			HotLoopFrac: 0.25, DataKB: 96, DataPattern: program.RandData,
+			DataFrac: 0.30, StoreFrac: 0.25, Seed: 101,
+		},
+		{
+			Name: "eqntott", Description: "conversion from equation to truth table",
+			CodeKB: 16, AvgBlock: 6, Phases: 3, Helpers: 4, LoopDepth: 2,
+			HotLoopFrac: 0.5, DataKB: 256, DataPattern: program.ChaseData,
+			DataFrac: 0.30, StoreFrac: 0.10, Seed: 102,
+		},
+		{
+			Name: "espresso", Description: "minimization of boolean functions",
+			CodeKB: 48, AvgBlock: 6, Phases: 6, Helpers: 10, LoopDepth: 3,
+			HotLoopFrac: 0.35, DataKB: 128, DataPattern: program.RandData,
+			DataFrac: 0.30, StoreFrac: 0.15, Seed: 103,
+		},
+		{
+			Name: "fpppp", Description: "quantum chemistry calculations",
+			CodeKB: 48, AvgBlock: 120, Phases: 4, Helpers: 3, LoopDepth: 2,
+			HotLoopFrac: 0.4, DataKB: 128, DataPattern: program.SeqData,
+			DataFrac: 0.40, StoreFrac: 0.30, Seed: 104,
+		},
+		{
+			Name: "gcc", Description: "GNU C compiler",
+			CodeKB: 200, AvgBlock: 5, Phases: 12, Helpers: 36, LoopDepth: 2,
+			HotLoopFrac: 0.15, DataKB: 512, DataPattern: program.RandData,
+			DataFrac: 0.30, StoreFrac: 0.25, Seed: 105,
+		},
+		{
+			Name: "li", Description: "lisp interpreter",
+			CodeKB: 64, AvgBlock: 5, Phases: 8, Helpers: 14, LoopDepth: 2,
+			HotLoopFrac: 0.2, DataKB: 256, DataPattern: program.ChaseData,
+			DataFrac: 0.35, StoreFrac: 0.30, Seed: 106,
+		},
+		{
+			Name: "matrix300", Description: "matrix multiplication",
+			CodeKB: 8, AvgBlock: 16, Phases: 2, Helpers: 2, LoopDepth: 3,
+			HotLoopFrac: 0.7, DataKB: 2048, DataPattern: program.SeqData,
+			DataFrac: 0.45, StoreFrac: 0.30, Seed: 107,
+		},
+		{
+			Name: "nasa7", Description: "NASA Ames FORTRAN Kernels",
+			CodeKB: 24, AvgBlock: 14, Phases: 7, Helpers: 5, LoopDepth: 3,
+			HotLoopFrac: 0.6, DataKB: 1024, DataPattern: program.SeqData,
+			DataFrac: 0.40, StoreFrac: 0.30, Seed: 108,
+		},
+		{
+			Name: "spice", Description: "circuit simulation",
+			CodeKB: 120, AvgBlock: 9, Phases: 10, Helpers: 24, LoopDepth: 2,
+			HotLoopFrac: 0.3, DataKB: 256, DataPattern: program.RandData,
+			DataFrac: 0.35, StoreFrac: 0.20, Seed: 109,
+		},
+		{
+			Name: "tomcatv", Description: "vectorized mesh generation",
+			CodeKB: 12, AvgBlock: 20, Phases: 2, Helpers: 3, LoopDepth: 3,
+			HotLoopFrac: 0.7, DataKB: 1024, DataPattern: program.SeqData,
+			DataFrac: 0.45, StoreFrac: 0.35, Seed: 110,
+		},
+	}
+}
+
+// Suite builds every benchmark. Each call generates fresh programs (the
+// generation is deterministic, so repeated calls agree).
+func Suite() []Benchmark {
+	params := SuiteParams()
+	out := make([]Benchmark, len(params))
+	for i, p := range params {
+		out[i] = MustBuild(p)
+	}
+	return out
+}
+
+// ByName builds just the named benchmark, or ok=false.
+func ByName(name string) (Benchmark, bool) {
+	for _, p := range SuiteParams() {
+		if p.Name == name {
+			return MustBuild(p), true
+		}
+	}
+	return Benchmark{}, false
+}

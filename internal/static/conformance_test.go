@@ -1,0 +1,31 @@
+package static_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/conformance"
+	"repro/internal/static"
+)
+
+func TestConformance(t *testing.T) {
+	geom := cache.DM(16<<10, 16)
+	conformance.Check(t, "static-no-exclusions", conformance.Options{EventualHit: true},
+		func() cache.Simulator {
+			c, err := static.NewCache(geom, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		})
+	// Excluded blocks never cache, so eventual-hit does not apply.
+	excluded := map[uint64]bool{0: true, 1 << 10: true}
+	conformance.Check(t, "static-with-exclusions", conformance.Options{EventualHit: false},
+		func() cache.Simulator {
+			c, err := static.NewCache(geom, excluded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		})
+}

@@ -1,0 +1,214 @@
+package static
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/patterns"
+)
+
+const size = 1 << 10
+
+func TestProfileCounts(t *testing.T) {
+	p, err := NewProfile(cache.DM(size, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := patterns.LoopLevels(10, 10).Refs(0, size)
+	p.Train(refs)
+	if p.Total() != 110 {
+		t.Errorf("Total = %d, want 110", p.Total())
+	}
+	if p.Blocks() != 2 {
+		t.Errorf("Blocks = %d, want 2", p.Blocks())
+	}
+}
+
+func TestExclusionsPickInfrequentConflicting(t *testing.T) {
+	p, _ := NewProfile(cache.DM(size, 4))
+	p.Train(patterns.LoopLevels(10, 10).Refs(0, size)) // a×100, b×10
+	ex, err := p.Exclusions(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b (block of addr size) executes 10 < 0.5*100: excluded.
+	bBlock := uint64(size) / 4
+	if !ex[bBlock] {
+		t.Error("infrequent conflicting block not excluded")
+	}
+	if ex[0] {
+		t.Error("hottest block must never be excluded")
+	}
+}
+
+func TestExclusionsEqualHotBlocksKept(t *testing.T) {
+	p, _ := NewProfile(cache.DM(size, 4))
+	p.Train(patterns.BetweenLoops(10, 10).Refs(0, size)) // a and b both ×100
+	ex, _ := p.Exclusions(0.5)
+	if len(ex) != 0 {
+		t.Errorf("equally hot blocks excluded: %v", ex)
+	}
+}
+
+func TestExclusionsAlphaValidation(t *testing.T) {
+	p, _ := NewProfile(cache.DM(size, 4))
+	if _, err := p.Exclusions(0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := p.Exclusions(1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}
+
+func TestStaticCacheMatchesOptimalOnLoopLevels(t *testing.T) {
+	// With a same-input profile, static exclusion reaches the optimal 11
+	// misses on (a^10 b)^10 — the result dynamic exclusion reaches with
+	// no profile at all.
+	refs := patterns.LoopLevels(10, 10).Refs(0, size)
+	p, _ := NewProfile(cache.DM(size, 4))
+	p.Train(refs)
+	ex, _ := p.Exclusions(0.5)
+	c, err := NewCache(cache.DM(size, 4), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.RunRefs(c, refs)
+	if c.Stats().Misses != 11 {
+		t.Errorf("misses = %d, want 11", c.Stats().Misses)
+	}
+	if c.Excluded() != 1 {
+		t.Errorf("excluded = %d, want 1", c.Excluded())
+	}
+}
+
+func TestStaticCacheNilExclusionsIsConventional(t *testing.T) {
+	refs := patterns.WithinLoop(10).Refs(0, size)
+	c, _ := NewCache(cache.DM(size, 4), nil)
+	dm := cache.MustDirectMapped(cache.DM(size, 4))
+	cache.RunRefs(c, refs)
+	cache.RunRefs(dm, refs)
+	if c.Stats().Misses != dm.Stats().Misses {
+		t.Errorf("nil exclusions: %d misses vs conventional %d",
+			c.Stats().Misses, dm.Stats().Misses)
+	}
+}
+
+func TestStaticCacheWithinLoop(t *testing.T) {
+	// (ab)^10: both blocks equally hot; static exclusion with alpha<=1
+	// keeps both → conventional thrashing. Excluding one by hand gives
+	// the optimal 11.
+	refs := patterns.WithinLoop(10).Refs(0, size)
+	bBlock := uint64(size) / 4
+	c, _ := NewCache(cache.DM(size, 4), map[uint64]bool{bBlock: true})
+	cache.RunRefs(c, refs)
+	if c.Stats().Misses != 11 {
+		t.Errorf("misses = %d, want 11", c.Stats().Misses)
+	}
+}
+
+func TestNetExclusionsLoopLevels(t *testing.T) {
+	// (a^10 b)^10: b fills ten times and never hits → excluded; a is the
+	// hottest and hits plenty → kept.
+	p, _ := NewProfile(cache.DM(size, 4))
+	p.Train(patterns.LoopLevels(10, 10).Refs(0, size))
+	ex := p.NetExclusions()
+	if !ex[uint64(size)/4] || ex[0] {
+		t.Errorf("exclusions = %v", ex)
+	}
+}
+
+func TestNetExclusionsWithinLoopKeepsOne(t *testing.T) {
+	// (ab)^10: both thrash equally; the hottest-block rule keeps exactly
+	// one, which the evaluation then converts into the optimal 11 misses.
+	refs := patterns.WithinLoop(10).Refs(0, size)
+	p, _ := NewProfile(cache.DM(size, 4))
+	p.Train(refs)
+	ex := p.NetExclusions()
+	if len(ex) != 1 {
+		t.Fatalf("exclusions = %v, want exactly one", ex)
+	}
+	c, _ := NewCache(cache.DM(size, 4), ex)
+	cache.RunRefs(c, refs)
+	if c.Stats().Misses != 11 {
+		t.Errorf("misses = %d, want 11 (optimal)", c.Stats().Misses)
+	}
+}
+
+func TestNetExclusionsThreeWayBeatsDynamic(t *testing.T) {
+	// (abc)^50 defeats the dynamic FSM, but the compiler with a profile
+	// pins the hottest block: ~2/3 miss rate, near the optimal 0.70.
+	refs := patterns.ThreeWay(50).Refs(0, size)
+	p, _ := NewProfile(cache.DM(size, 4))
+	p.Train(refs)
+	c, _ := NewCache(cache.DM(size, 4), p.NetExclusions())
+	cache.RunRefs(c, refs)
+	if mr := c.Stats().MissRate(); mr > 0.7 {
+		t.Errorf("static three-way miss rate = %v, want <= 0.70", mr)
+	}
+}
+
+func TestNetExclusionsBetweenLoopsKeepsBoth(t *testing.T) {
+	// (a^10 b^10)^10: both blocks hit far more than they fill; neither is
+	// excluded and the cache behaves conventionally (already optimal).
+	p, _ := NewProfile(cache.DM(size, 4))
+	p.Train(patterns.BetweenLoops(10, 10).Refs(0, size))
+	if ex := p.NetExclusions(); len(ex) != 0 {
+		t.Errorf("exclusions = %v, want none", ex)
+	}
+}
+
+func TestNetExclusionsDeterministicOnTies(t *testing.T) {
+	refs := patterns.WithinLoop(10).Refs(0, size)
+	p1, _ := NewProfile(cache.DM(size, 4))
+	p1.Train(refs)
+	first := p1.NetExclusions()
+	for i := 0; i < 20; i++ {
+		p, _ := NewProfile(cache.DM(size, 4))
+		p.Train(refs)
+		ex := p.NetExclusions()
+		if len(ex) != len(first) {
+			t.Fatal("tie-break nondeterministic")
+		}
+		for b := range first {
+			if !ex[b] {
+				t.Fatal("tie-break nondeterministic")
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewProfile(cache.Geometry{Size: 3, LineSize: 4}); err == nil {
+		t.Error("bad geometry accepted by NewProfile")
+	}
+	if _, err := NewCache(cache.Geometry{Size: 3, LineSize: 4}, nil); err == nil {
+		t.Error("bad geometry accepted by NewCache")
+	}
+}
+
+func TestProfileMismatchHurts(t *testing.T) {
+	// A profile from one input applied to another can exclude the wrong
+	// blocks — the compiler approach's weakness the paper's hardware
+	// scheme avoids. Train on (a^10 b)^10 (excludes b), evaluate on
+	// (b^10 a)^10-like behavior where b became the hot one.
+	train := patterns.LoopLevels(10, 10).Refs(0, size) // a hot, b cold
+	p, _ := NewProfile(cache.DM(size, 4))
+	p.Train(train)
+	ex, _ := p.Exclusions(0.5)
+
+	// Evaluation stream: b is now the loop body, a the stray.
+	eval := patterns.Spec{
+		Name:  "swapped",
+		Inner: []patterns.Step{{Sym: 'b', Count: 10}, {Sym: 'a', Count: 1}},
+		Outer: 10,
+	}.Refs(0, size)
+
+	c, _ := NewCache(cache.DM(size, 4), ex)
+	cache.RunRefs(c, eval)
+	dm := cache.MustDirectMapped(cache.DM(size, 4))
+	cache.RunRefs(dm, eval)
+	if c.Stats().Misses <= dm.Stats().Misses {
+		t.Errorf("stale profile (%d misses) should hurt vs conventional (%d)",
+			c.Stats().Misses, dm.Stats().Misses)
+	}
+}

@@ -1,0 +1,30 @@
+package stream_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+func TestConformance(t *testing.T) {
+	geom := cache.DM(16<<10, 16)
+	for _, depth := range []int{1, 4, 8} {
+		depth := depth
+		conformance.Check(t, "stream", conformance.Options{EventualHit: true},
+			func() cache.Simulator { return stream.Must(geom, depth) })
+	}
+}
+
+func TestExclusionConformance(t *testing.T) {
+	geom := cache.DM(16<<10, 16)
+	conformance.Check(t, "stream-exclusion", conformance.Options{EventualHit: true},
+		func() cache.Simulator {
+			return stream.MustExclusion(core.Config{
+				Geometry: geom,
+				Store:    core.NewTableStore(true),
+			}, 4)
+		})
+}

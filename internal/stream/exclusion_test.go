@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+func deCfg(size, line uint64) core.Config {
+	return core.Config{Geometry: cache.DM(size, line), Store: core.NewTableStore(false)}
+}
+
+func TestExclusionSequentialRunCovered(t *testing.T) {
+	// Straight-line code: one real miss, then the line register and the
+	// prefetcher cover everything.
+	e := MustExclusion(deCfg(1<<10, 16), 4)
+	for a := uint64(0); a < 256; a += 4 {
+		e.Access(a)
+	}
+	s := e.Stats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1 for sequential code", s.Misses)
+	}
+	ex := e.Extra()
+	if ex.LineHits == 0 || ex.StreamHits == 0 {
+		t.Errorf("helper hits = %+v, want both nonzero", ex)
+	}
+}
+
+func TestExclusionExcludedLineServedByRegister(t *testing.T) {
+	const size = 1 << 10
+	e := MustExclusion(deCfg(size, 16), 4)
+	e.Access(0)
+	e.Access(4) // line 0 resident and sticky
+	// Conflicting line: excluded, but its sequential words are register
+	// hits.
+	for _, a := range []uint64{size, size + 4, size + 8, size + 12} {
+		e.Access(a)
+	}
+	s := e.Stats()
+	if s.Bypasses != 1 {
+		t.Errorf("bypasses = %d, want 1", s.Bypasses)
+	}
+	if s.Misses != 2 { // line 0 cold + conflicting line
+		t.Errorf("misses = %d, want 2: %+v", s.Misses, s)
+	}
+	if !e.Inner().Contains(0) {
+		t.Error("sticky resident displaced")
+	}
+}
+
+func TestExclusionFSMStillDecides(t *testing.T) {
+	// The conflict FSM behaves exactly as core does at line granularity.
+	const size = 1 << 10
+	e := MustExclusion(deCfg(size, 16), 4)
+	e.Access(0)
+	e.Access(size) // exclude, sticky drops to 0
+	e.Access(0)    // hit: sticky restored
+	if !e.Inner().Contains(0) || e.Inner().Sticky(0) != 1 {
+		t.Fatal("hit did not restore sticky")
+	}
+	e.Access(size)   // exclude again, sticky 0
+	e.Access(2 * 16) // unrelated line breaks the register run
+	e.Access(size)   // non-sticky resident: conflicting line replaces it
+	if e.Inner().Contains(0) {
+		t.Error("non-sticky resident should be replaced on the next conflict")
+	}
+	if !e.Inner().Contains(size) {
+		t.Error("conflicting line should now be resident")
+	}
+}
+
+func TestExclusionBeatsLastLineOnSequentialCode(t *testing.T) {
+	// Against the last-line register alone, the prefetch buffer removes
+	// sequential compulsory misses (§6: stream buffers are complementary).
+	var seq []uint64
+	for a := uint64(0); a < 8<<10; a += 4 {
+		seq = append(seq, a)
+	}
+	e := MustExclusion(deCfg(1<<10, 16), 4)
+	ll := core.Must(core.Config{
+		Geometry:    cache.DM(1<<10, 16),
+		Store:       core.NewTableStore(false),
+		UseLastLine: true,
+	})
+	for _, a := range seq {
+		e.Access(a)
+		ll.Access(a)
+	}
+	if e.Stats().Misses >= ll.Stats().Misses {
+		t.Errorf("stream exclusion %d misses, last-line %d; prefetch should win",
+			e.Stats().Misses, ll.Stats().Misses)
+	}
+}
+
+func TestExclusionErrors(t *testing.T) {
+	if _, err := NewExclusion(core.Config{}, 4); err == nil {
+		t.Error("bad DE config accepted")
+	}
+	if _, err := NewExclusion(deCfg(1<<10, 16), 0); err == nil {
+		t.Error("zero depth accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExclusion did not panic")
+		}
+	}()
+	MustExclusion(core.Config{}, 1)
+}
+
+func TestExclusionStatsConsistent(t *testing.T) {
+	e := MustExclusion(deCfg(1<<10, 16), 4)
+	for i := 0; i < 1000; i++ {
+		e.Access(uint64(i*7%4096) * 4)
+	}
+	s := e.Stats()
+	if s.Hits+s.Misses != s.Accesses || s.Accesses != 1000 {
+		t.Errorf("stats inconsistent: %+v", s)
+	}
+}

@@ -1,0 +1,92 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestStreamBufferSequentialRun(t *testing.T) {
+	// Sequential code: the first line misses, the prefetcher covers the
+	// rest of the run.
+	c := Must(cache.DM(1<<10, 16), 4)
+	for a := uint64(0); a < 256; a += 4 {
+		c.Access(a)
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1 for a sequential run", s.Misses)
+	}
+	if c.Extra().StreamHits == 0 {
+		t.Error("no stream hits recorded")
+	}
+}
+
+func TestStreamBufferRestartOnJump(t *testing.T) {
+	c := Must(cache.DM(1<<10, 16), 4)
+	c.Access(0)      // miss, stream at line 1
+	c.Access(0x8000) // jump: miss, stream restarts
+	c.Access(0x8010) // next line: stream hit
+	s := c.Stats()
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 misses 1 hit", s)
+	}
+}
+
+func TestStreamBufferDoesNotFixConflicts(t *testing.T) {
+	// The paper: "stream buffers do not change the number of conflict
+	// misses". Ping-pong between two conflicting lines defeats the
+	// sequential prefetcher entirely.
+	const size = 1 << 10
+	c := Must(cache.DM(size, 16), 4)
+	plain := cache.MustDirectMapped(cache.DM(size, 16))
+	for i := 0; i < 20; i++ {
+		addr := uint64(i%2) * size
+		c.Access(addr)
+		plain.Access(addr)
+	}
+	if c.Stats().Misses != plain.Stats().Misses {
+		t.Errorf("stream misses %d, plain %d; should be identical on conflicts",
+			c.Stats().Misses, plain.Stats().Misses)
+	}
+}
+
+func TestBufferHeadOnlyMatch(t *testing.T) {
+	b, err := NewBuffer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Restart(10) // head = 11
+	if b.HeadHit(13) {
+		t.Error("non-head entry must not match")
+	}
+	if !b.HeadHit(11) || !b.HeadHit(12) || !b.HeadHit(13) {
+		t.Error("sequential head consumption failed")
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := NewBuffer(0); err == nil {
+		t.Error("zero depth accepted")
+	}
+	if _, err := New(cache.Geometry{Size: 3, LineSize: 4}, 4); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Must did not panic")
+		}
+	}()
+	Must(cache.DM(64, 4), 0)
+}
+
+func TestCacheHitBeatsBuffer(t *testing.T) {
+	c := Must(cache.DM(1<<10, 16), 4)
+	c.Access(0)
+	if got := c.Access(4); got != cache.Hit {
+		t.Errorf("resident access = %v", got)
+	}
+	if c.Extra().StreamHits != 0 {
+		t.Error("resident hit must not count as stream hit")
+	}
+}

@@ -1,0 +1,117 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Chart renders one or more series as an ASCII line chart with the x
+// values treated as ordered categories (the paper's figures use
+// logarithmic cache-size axes, so category spacing matches them). Each
+// series is drawn with its own marker character.
+type Chart struct {
+	Title  string
+	YLabel string
+	// XFormat formats category labels (default "%g").
+	XFormat func(x float64) string
+	// Height is the number of chart rows (default 16).
+	Height int
+	Series []metrics.Series
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// String renders the chart.
+func (c Chart) String() string {
+	if len(c.Series) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	xf := c.XFormat
+	if xf == nil {
+		xf = func(x float64) string { return fmt.Sprintf("%g", x) }
+	}
+
+	// Collect the x categories in the order of the first series that
+	// mentions them.
+	var xs []float64
+	seen := map[float64]bool{}
+	ymax := math.Inf(-1)
+	ymin := 0.0 // figures start at zero
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+			if p.Y < ymin {
+				ymin = p.Y
+			}
+		}
+	}
+	if math.IsInf(ymax, -1) || ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	const colw = 8
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", colw*len(xs)))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			xi := -1
+			for i, x := range xs {
+				if x == p.X {
+					xi = i
+					break
+				}
+			}
+			if xi < 0 {
+				continue
+			}
+			row := int(math.Round((ymax - p.Y) / (ymax - ymin) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][xi*colw+colw/2] = m
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for i, row := range grid {
+		y := ymax - (ymax-ymin)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s\n", y, strings.TrimRight(string(row), " "))
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", colw*len(xs)) + "\n")
+	b.WriteString(strings.Repeat(" ", 10))
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%*s", colw, xf(x))
+	}
+	b.WriteByte('\n')
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "y: %s\n", c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

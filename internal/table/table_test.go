@@ -1,0 +1,95 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Title", "name", "x")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	tb.AddNote("a note %d", 7)
+	out := tb.String()
+	for _, want := range []string{"Title", "name", "longer", "22", "note: a note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, 2 rows, note.
+	if len(lines) != 6 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Numeric column right-aligned: "1" and "22" end at the same column.
+	var c1, c2 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "a ") {
+			c1 = l
+		}
+		if strings.HasPrefix(l, "longer") {
+			c2 = l
+		}
+	}
+	if len(c1) != len(c2) {
+		t.Errorf("right alignment broken: %q vs %q", c1, c2)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "z")
+	out := tb.String()
+	if !strings.Contains(out, "z") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRowf("s", 0.123456, 42)
+	out := tb.String()
+	for _, want := range []string{"s", "0.1235", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in\n%s", want, out)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := Chart{
+		Title:  "Figure X",
+		YLabel: "miss rate (%)",
+		Series: []metrics.Series{
+			{Name: "direct-mapped", Points: []metrics.Point{{X: 1, Y: 10}, {X: 2, Y: 5}}},
+			{Name: "dynamic exclusion", Points: []metrics.Point{{X: 1, Y: 7}, {X: 2, Y: 3}}},
+		},
+	}
+	out := c.String()
+	for _, want := range []string{"Figure X", "* = direct-mapped", "+ = dynamic exclusion", "miss rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("markers not plotted")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.String()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// ymax == ymin must not divide by zero.
+	c := Chart{Series: []metrics.Series{{Name: "flat", Points: []metrics.Point{{X: 1, Y: 0}, {X: 2, Y: 0}}}}}
+	if out := c.String(); out == "" {
+		t.Error("constant series produced no output")
+	}
+}

@@ -1,0 +1,119 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		{L1Hit: 0, L2: 1, Memory: 1},
+		{L1Hit: 1, AssocPenalty: -1},
+		{L1Hit: 1, L2: -1},
+		{L1Hit: 1, Memory: -0.5},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v should not validate", m)
+		}
+	}
+}
+
+func TestHitTimeGrowsWithAssociativity(t *testing.T) {
+	m := Default()
+	if !almost(m.HitTime(1), 1) {
+		t.Errorf("direct-mapped hit time = %v", m.HitTime(1))
+	}
+	if !almost(m.HitTime(2), 1.5) {
+		t.Errorf("2-way hit time = %v", m.HitTime(2))
+	}
+	if !almost(m.HitTime(4), 2.0) {
+		t.Errorf("4-way hit time = %v", m.HitTime(4))
+	}
+	// Fully associative charged as 8-way.
+	if !almost(m.HitTime(0), m.HitTime(8)) {
+		t.Errorf("fully associative = %v, 8-way = %v", m.HitTime(0), m.HitTime(8))
+	}
+}
+
+func TestAMATSingle(t *testing.T) {
+	m := Default()
+	// 5% misses: 1 + 0.05*40 = 3.
+	if got := m.AMATSingle(1, 0.05); !almost(got, 3) {
+		t.Errorf("AMATSingle = %v, want 3", got)
+	}
+}
+
+func TestAMATTwoLevel(t *testing.T) {
+	m := Default()
+	// 10% L1 misses, 50% local L2: 1 + 0.1*(10 + 0.5*40) = 4.
+	if got := m.AMATTwoLevel(1, 0.1, 0.5); !almost(got, 4) {
+		t.Errorf("AMATTwoLevel = %v, want 4", got)
+	}
+	// Perfect L2 reduces to hit + l1Miss*L2.
+	if got := m.AMATTwoLevel(1, 0.1, 0); !almost(got, 2) {
+		t.Errorf("AMATTwoLevel perfect L2 = %v, want 2", got)
+	}
+}
+
+func TestFromStats(t *testing.T) {
+	var s cache.Stats
+	s.Record(cache.Hit, false)
+	s.Record(cache.MissFill, false)
+	// 50% miss: 1 + 0.5*40 = 21.
+	if got := Default().FromStats(1, s); !almost(got, 21) {
+		t.Errorf("FromStats = %v, want 21", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if !almost(Speedup(2, 1), 2) {
+		t.Error("Speedup(2,1) != 2")
+	}
+	if Speedup(1, 0) != 0 {
+		t.Error("Speedup with zero alt should be 0")
+	}
+}
+
+func TestMissRateReductionAlwaysHelpsAMAT(t *testing.T) {
+	// Property: with a fixed hit path, lowering the miss rate never
+	// raises AMAT (monotonicity the paper's argument relies on).
+	m := Default()
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 1)
+		b = math.Mod(math.Abs(b), 1)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return m.AMATSingle(1, lo) <= m.AMATSingle(1, hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperPremiseDirectMappedCanBeatTwoWay(t *testing.T) {
+	// The §1 motivation: a direct-mapped cache with a slightly higher
+	// miss rate can still win on AMAT because of its shorter hit path.
+	m := Default()
+	dm := m.AMATSingle(1, 0.020) // 2.0% misses
+	sa := m.AMATSingle(2, 0.012) // 1.2% misses, 2-way penalty
+	if dm >= sa {
+		t.Errorf("dm %.3f should beat 2-way %.3f at these rates", dm, sa)
+	}
+	// And with a large enough miss gap the 2-way wins.
+	dm2 := m.AMATSingle(1, 0.10)
+	sa2 := m.AMATSingle(2, 0.02)
+	if dm2 <= sa2 {
+		t.Errorf("2-way %.3f should beat dm %.3f at these rates", sa2, dm2)
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Dinero ("din") format support. The classic cache-simulator interchange
+// format — one reference per line:
+//
+//	<label> <hex address>
+//
+// with label 0 = data read, 1 = data write, 2 = instruction fetch.
+// Supporting it lets this library consume traces from dineroIII/IV-era
+// tools and emit traces other simulators can read.
+
+// dinLabel maps our Kind to the din label and back.
+func dinLabel(k Kind) int {
+	switch k {
+	case Load:
+		return 0
+	case Store:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func kindOfDin(label int) (Kind, error) {
+	switch label {
+	case 0:
+		return Load, nil
+	case 1:
+		return Store, nil
+	case 2:
+		return Instr, nil
+	default:
+		return 0, fmt.Errorf("trace: din label %d out of range", label)
+	}
+}
+
+// DinReader decodes din-format text as a Reader. Blank lines and lines
+// starting with '#' are skipped.
+type DinReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewDinReader returns a Reader over din-format text.
+func NewDinReader(r io.Reader) *DinReader {
+	return &DinReader{s: bufio.NewScanner(r)}
+}
+
+// Next decodes the next reference or io.EOF.
+func (d *DinReader) Next() (Ref, error) {
+	for d.s.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.s.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return Ref{}, fmt.Errorf("trace: din line %d: want 'label addr', got %q", d.line, text)
+		}
+		label, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return Ref{}, fmt.Errorf("trace: din line %d: bad label %q", d.line, fields[0])
+		}
+		kind, err := kindOfDin(label)
+		if err != nil {
+			return Ref{}, fmt.Errorf("trace: din line %d: %v", d.line, err)
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return Ref{}, fmt.Errorf("trace: din line %d: bad address %q", d.line, fields[1])
+		}
+		return Ref{Addr: addr, Kind: kind}, nil
+	}
+	if err := d.s.Err(); err != nil {
+		return Ref{}, fmt.Errorf("trace: reading din input: %w", err)
+	}
+	return Ref{}, io.EOF
+}
+
+// WriteDin encodes the stream as din-format text, returning the number of
+// references written.
+func WriteDin(w io.Writer, r Reader) (uint64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var count uint64
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return count, bw.Flush()
+		}
+		if err != nil {
+			return count, err
+		}
+		if _, err := fmt.Fprintf(bw, "%d %x\n", dinLabel(ref.Kind), ref.Addr); err != nil {
+			return count, fmt.Errorf("trace: writing din record %d: %w", count, err)
+		}
+		count++
+	}
+}

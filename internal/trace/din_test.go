@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDinRoundTrip(t *testing.T) {
+	in := []Ref{{0x1000, Instr}, {0x8004, Load}, {0x8008, Store}, {0x1004, Instr}}
+	var buf bytes.Buffer
+	n, err := WriteDin(&buf, NewSliceReader(in))
+	if err != nil || n != 4 {
+		t.Fatalf("WriteDin = %d, %v", n, err)
+	}
+	got, err := Collect(NewDinReader(&buf), 0)
+	if err != nil || !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip = %v, %v", got, err)
+	}
+}
+
+func TestDinFormatShape(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteDin(&buf, NewSliceReader([]Ref{{0xABC, Load}, {0xDEF, Instr}})); err != nil {
+		t.Fatal(err)
+	}
+	want := "0 abc\n2 def\n"
+	if buf.String() != want {
+		t.Errorf("output = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestDinReaderTolerance(t *testing.T) {
+	input := `
+# a comment
+2 400
+	0   0x8000
+
+1 8004
+`
+	got, err := Collect(NewDinReader(strings.NewReader(input)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Ref{{0x400, Instr}, {0x8000, Load}, {0x8004, Store}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDinReaderErrors(t *testing.T) {
+	cases := []string{
+		"2",      // missing address
+		"x 400",  // bad label
+		"7 400",  // label out of range
+		"2 zzz",  // bad address
+		"2 0xzz", // bad hex
+		"-1 400", // negative label
+	}
+	for _, in := range cases {
+		if _, err := Collect(NewDinReader(strings.NewReader(in)), 0); err == nil {
+			t.Errorf("input %q should error", in)
+		}
+	}
+}
+
+func TestDinRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]Ref, int(n))
+		for i := range in {
+			in[i] = Ref{Addr: rng.Uint64(), Kind: Kind(rng.Intn(3))}
+		}
+		var buf bytes.Buffer
+		if _, err := WriteDin(&buf, NewSliceReader(in)); err != nil {
+			return false
+		}
+		got, err := Collect(NewDinReader(&buf), 0)
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

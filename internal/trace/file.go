@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format
+//
+// Traces can be persisted in a compact binary format so that expensive
+// workloads are generated once (cmd/tracegen) and replayed many times. The
+// format is:
+//
+//	magic   [8]byte  "DYNEXTR1"
+//	records *        one varint-encoded record per reference
+//
+// Each record is a single unsigned varint holding
+//
+//	(zigzag(addrDelta) << 2) | kind
+//
+// where addrDelta is the signed difference from the previous reference's
+// address (instruction streams are mostly sequential, so deltas are tiny)
+// and kind is the 2-bit reference kind. The stream ends at EOF.
+//
+// The format carries a 62-bit address space: the zigzagged delta must
+// leave two bits for the kind, so addresses are stored modulo 1<<62.
+// Every workload in this repository lives far below that bound.
+
+var fileMagic = [8]byte{'D', 'Y', 'N', 'E', 'X', 'T', 'R', '1'}
+
+// ErrBadMagic indicates the input is not a dynex trace file.
+var ErrBadMagic = errors.New("trace: bad magic; not a dynex trace file")
+
+// zigzag maps signed to unsigned so small negative deltas stay small.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// addrBits is the width of the address space the file format can carry.
+const addrBits = 62
+
+// AddrMask is the largest address representable in a trace file.
+const AddrMask = uint64(1)<<addrBits - 1
+
+// deltaSigned interprets the mod-2^62 difference d as a signed value in
+// [-2^61, 2^61).
+func deltaSigned(d uint64) int64 {
+	if d >= 1<<(addrBits-1) {
+		return int64(d) - (1 << addrBits)
+	}
+	return int64(d)
+}
+
+// Writer encodes references to an io.Writer in the dynex trace format.
+type Writer struct {
+	w     *bufio.Writer
+	last  uint64
+	buf   [binary.MaxVarintLen64]byte
+	count uint64
+}
+
+// NewWriter writes the file header and returns a Writer. Close (Flush) must
+// be called to guarantee all records reach the underlying writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one reference. Addresses are stored modulo 1<<62 (see the
+// format comment); higher bits are silently dropped.
+func (w *Writer) Write(ref Ref) error {
+	addr := ref.Addr & AddrMask
+	delta := deltaSigned((addr - w.last) & AddrMask)
+	w.last = addr
+	rec := zigzag(delta)<<2 | uint64(ref.Kind&3)
+	n := binary.PutUvarint(w.buf[:], rec)
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record %d: %w", w.count, err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of references written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush writes any buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// FileReader decodes a dynex trace file as a Reader.
+type FileReader struct {
+	r    *bufio.Reader
+	last uint64
+}
+
+// NewFileReader validates the header of r and returns a Reader over its
+// records.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, ErrBadMagic
+	}
+	return &FileReader{r: br}, nil
+}
+
+// Next decodes the next reference, or io.EOF at end of file.
+func (f *FileReader) Next() (Ref, error) {
+	rec, err := binary.ReadUvarint(f.r)
+	if err == io.EOF {
+		return Ref{}, io.EOF
+	}
+	if err != nil {
+		return Ref{}, fmt.Errorf("trace: corrupt record: %w", err)
+	}
+	kind := Kind(rec & 3)
+	if kind > Store {
+		return Ref{}, fmt.Errorf("trace: corrupt record: kind %d", kind)
+	}
+	f.last = (f.last + uint64(unzigzag(rec>>2))) & AddrMask
+	return Ref{Addr: f.last, Kind: kind}, nil
+}
+
+// WriteAll drains r into w, returning the number of references written.
+func WriteAll(w *Writer, r Reader) (uint64, error) {
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return w.count, w.Flush()
+		}
+		if err != nil {
+			return w.count, err
+		}
+		if err := w.Write(ref); err != nil {
+			return w.count, err
+		}
+	}
+}

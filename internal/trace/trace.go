@@ -1,0 +1,138 @@
+// Package trace defines the memory-reference stream abstraction shared by
+// every workload generator and cache simulator in this repository.
+//
+// The paper drove its simulators with pixie traces of the SPEC benchmarks
+// captured on a DECstation 3100. We reproduce that interface as a stream of
+// Ref values: a reference kind (instruction fetch, data load, data store)
+// plus a byte address. Streams are pull-based (Reader), so workloads of
+// hundreds of millions of references can be simulated without materializing
+// them, while the optimal-replacement simulators (which need future
+// knowledge) can Collect a bounded prefix into memory.
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// Kind classifies a memory reference.
+type Kind uint8
+
+const (
+	// Instr is an instruction fetch.
+	Instr Kind = iota
+	// Load is a data read.
+	Load
+	// Store is a data write.
+	Store
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Instr:
+		return "I"
+	case Load:
+		return "L"
+	case Store:
+		return "S"
+	default:
+		return "?"
+	}
+}
+
+// IsData reports whether the reference is a data access (load or store).
+func (k Kind) IsData() bool { return k == Load || k == Store }
+
+// Ref is a single memory reference.
+type Ref struct {
+	// Addr is the byte address referenced.
+	Addr uint64
+	// Kind says whether this is an instruction fetch, load, or store.
+	Kind Kind
+}
+
+// Reader is a pull-based stream of references. Next returns io.EOF when the
+// stream is exhausted; any other error is a malformed stream.
+type Reader interface {
+	Next() (Ref, error)
+}
+
+// ReaderFunc adapts a function to the Reader interface.
+type ReaderFunc func() (Ref, error)
+
+// Next calls f.
+func (f ReaderFunc) Next() (Ref, error) { return f() }
+
+// SliceReader replays an in-memory slice of references.
+type SliceReader struct {
+	refs []Ref
+	pos  int
+}
+
+// NewSliceReader returns a Reader over refs. The slice is not copied.
+func NewSliceReader(refs []Ref) *SliceReader {
+	return &SliceReader{refs: refs}
+}
+
+// Next returns the next reference or io.EOF.
+func (r *SliceReader) Next() (Ref, error) {
+	if r.pos >= len(r.refs) {
+		return Ref{}, io.EOF
+	}
+	ref := r.refs[r.pos]
+	r.pos++
+	return ref, nil
+}
+
+// Reset rewinds the reader to the start of the slice.
+func (r *SliceReader) Reset() { r.pos = 0 }
+
+// Len returns the total number of references in the underlying slice.
+func (r *SliceReader) Len() int { return len(r.refs) }
+
+// ErrLimit is returned by Collect when the stream exceeds the given bound.
+var ErrLimit = errors.New("trace: stream longer than limit")
+
+// Collect drains r into a slice, stopping at max references. If the stream
+// ends before max, the shorter slice is returned. max <= 0 collects the
+// entire stream. A stream longer than a positive max is NOT an error: the
+// prefix is returned (the paper likewise simulates 10M-reference prefixes).
+func Collect(r Reader, max int) ([]Ref, error) {
+	var refs []Ref
+	if max > 0 {
+		refs = make([]Ref, 0, max)
+	}
+	for {
+		if max > 0 && len(refs) >= max {
+			return refs, nil
+		}
+		ref, err := r.Next()
+		if err == io.EOF {
+			return refs, nil
+		}
+		if err != nil {
+			return refs, err
+		}
+		refs = append(refs, ref)
+	}
+}
+
+// Drive pushes every reference from r into sink until EOF or limit refs
+// (limit <= 0 means unlimited). It returns the number of references
+// delivered.
+func Drive(r Reader, limit int, sink func(Ref)) (int, error) {
+	n := 0
+	for limit <= 0 || n < limit {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sink(ref)
+		n++
+	}
+	return n, nil
+}

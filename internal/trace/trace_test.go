@@ -1,0 +1,278 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func refs(addrs ...uint64) []Ref {
+	out := make([]Ref, len(addrs))
+	for i, a := range addrs {
+		out[i] = Ref{Addr: a, Kind: Instr}
+	}
+	return out
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Instr: "I", Load: "L", Store: "S", Kind(9): "?"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindIsData(t *testing.T) {
+	if Instr.IsData() {
+		t.Error("Instr.IsData() = true, want false")
+	}
+	if !Load.IsData() || !Store.IsData() {
+		t.Error("Load/Store.IsData() should be true")
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	in := refs(0, 4, 8)
+	r := NewSliceReader(in)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	var got []Ref
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ref)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("got %v, want %v", got, in)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after EOF, err = %v, want io.EOF", err)
+	}
+	r.Reset()
+	if ref, err := r.Next(); err != nil || ref.Addr != 0 {
+		t.Errorf("after Reset, got %v, %v", ref, err)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	in := refs(0, 4, 8, 12)
+	got, err := Collect(NewSliceReader(in), 0)
+	if err != nil || !reflect.DeepEqual(got, in) {
+		t.Errorf("Collect all = %v, %v", got, err)
+	}
+	got, err = Collect(NewSliceReader(in), 2)
+	if err != nil || len(got) != 2 {
+		t.Errorf("Collect(2) = %v, %v, want 2 refs", got, err)
+	}
+}
+
+func TestDrive(t *testing.T) {
+	in := refs(0, 4, 8, 12)
+	var seen int
+	n, err := Drive(NewSliceReader(in), 3, func(Ref) { seen++ })
+	if err != nil || n != 3 || seen != 3 {
+		t.Errorf("Drive = %d, %v (seen %d), want 3", n, err, seen)
+	}
+	seen = 0
+	n, err = Drive(NewSliceReader(in), 0, func(Ref) { seen++ })
+	if err != nil || n != 4 || seen != 4 {
+		t.Errorf("Drive unlimited = %d, %v (seen %d), want 4", n, err, seen)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	in := refs(0, 4, 8, 12)
+	got, err := Collect(Limit(NewSliceReader(in), 2), 0)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Limit(2) yielded %d refs, err %v", len(got), err)
+	}
+	got, err = Collect(Limit(NewSliceReader(in), 99), 0)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("Limit(99) yielded %d refs, err %v", len(got), err)
+	}
+}
+
+func TestFilterKinds(t *testing.T) {
+	in := []Ref{{0, Instr}, {4, Load}, {8, Store}, {12, Instr}}
+	i, err := Collect(OnlyInstr(NewSliceReader(in)), 0)
+	if err != nil || len(i) != 2 {
+		t.Errorf("OnlyInstr = %v, %v", i, err)
+	}
+	d, err := Collect(OnlyData(NewSliceReader(in)), 0)
+	if err != nil || len(d) != 2 {
+		t.Errorf("OnlyData = %v, %v", d, err)
+	}
+	if d[0].Kind != Load || d[1].Kind != Store {
+		t.Errorf("OnlyData kinds = %v", d)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSliceReader(refs(0, 4))
+	b := NewSliceReader(refs(8))
+	got, err := Collect(Concat(a, b), 0)
+	if err != nil || len(got) != 3 || got[2].Addr != 8 {
+		t.Errorf("Concat = %v, %v", got, err)
+	}
+}
+
+func TestCounting(t *testing.T) {
+	in := []Ref{{0, Instr}, {4, Load}, {8, Store}, {12, Instr}}
+	c := NewCounting(NewSliceReader(in))
+	if _, err := Collect(c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.ByKind[Instr] != 2 || c.ByKind[Load] != 1 || c.ByKind[Store] != 1 {
+		t.Errorf("counts = %v", c.ByKind)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d, want 4", c.Total())
+	}
+}
+
+func TestCollapseLines(t *testing.T) {
+	// 16B lines: addresses 0,4,8,12 are one line; 16 is the next.
+	in := refs(0, 4, 8, 12, 16, 20, 0, 16)
+	got, err := Collect(CollapseLines(NewSliceReader(in), 16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refs(0, 16, 0, 16)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CollapseLines = %v, want %v", got, want)
+	}
+}
+
+func TestCollapseLinesKindChangeDoesNotBreakRun(t *testing.T) {
+	in := []Ref{{0, Instr}, {8, Load}, {32, Instr}}
+	got, err := Collect(CollapseLines(NewSliceReader(in), 16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Addr != 0 || got[1].Addr != 32 {
+		t.Errorf("CollapseLines = %v", got)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	got, err := Collect(Repeat(refs(0, 4), 3), 0)
+	if err != nil || len(got) != 6 {
+		t.Fatalf("Repeat = %v, %v", got, err)
+	}
+	want := refs(0, 4, 0, 4, 0, 4)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Repeat = %v, want %v", got, want)
+	}
+	if got, _ := Collect(Repeat(refs(1), 0), 0); len(got) != 0 {
+		t.Errorf("Repeat 0 times = %v, want empty", got)
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := NewSliceReader(refs(0, 4, 8))
+	b := NewSliceReader([]Ref{{100, Load}, {104, Load}})
+	got, err := Collect(Interleave([]Reader{a, b}, []int{2, 1}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAddrs := []uint64{0, 4, 100, 8, 104}
+	if len(got) != len(wantAddrs) {
+		t.Fatalf("Interleave len = %d, want %d: %v", len(got), len(wantAddrs), got)
+	}
+	for i, w := range wantAddrs {
+		if got[i].Addr != w {
+			t.Errorf("ref %d = %d, want %d", i, got[i].Addr, w)
+		}
+	}
+}
+
+func TestInterleaveDefaultWeights(t *testing.T) {
+	a := NewSliceReader(refs(0))
+	b := NewSliceReader(refs(100, 104))
+	got, err := Collect(Interleave([]Reader{a, b}, nil), 0)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Interleave = %v, %v", got, err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	in := []Ref{{0x1000, Instr}, {0x1004, Instr}, {0x8000, Load}, {0x1008, Instr}, {0x7ff8, Store}}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteAll(w, NewSliceReader(in))
+	if err != nil || n != uint64(len(in)) {
+		t.Fatalf("WriteAll = %d, %v", n, err)
+	}
+	fr, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(fr, 0)
+	if err != nil || !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip = %v, %v, want %v", got, err, in)
+	}
+}
+
+func TestFileBadMagic(t *testing.T) {
+	if _, err := NewFileReader(bytes.NewReader([]byte("NOTATRACE"))); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := NewFileReader(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short header should error")
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	// Property: any reference sequence survives a write/read round trip.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]Ref, int(n))
+		for i := range in {
+			// The file format carries 62-bit addresses.
+			in[i] = Ref{Addr: rng.Uint64() & AddrMask, Kind: Kind(rng.Intn(3))}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if _, err := WriteAll(w, NewSliceReader(in)); err != nil {
+			return false
+		}
+		fr, err := NewFileReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(fr, 0)
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,18 @@
+package victim_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/conformance"
+	"repro/internal/victim"
+)
+
+func TestConformance(t *testing.T) {
+	geom := cache.DM(16<<10, 16)
+	for _, entries := range []int{1, 4, 15} {
+		entries := entries
+		conformance.Check(t, "victim", conformance.Options{EventualHit: true},
+			func() cache.Simulator { return victim.Must(geom, entries) })
+	}
+}

@@ -1,0 +1,104 @@
+package victim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/patterns"
+)
+
+func TestVictimCatchesPingPong(t *testing.T) {
+	// (ab)^10: a conventional DM cache misses everything; a victim cache
+	// turns all but the two cold misses into swaps.
+	const size = 1 << 10
+	c := Must(cache.DM(size, 4), 4)
+	for _, r := range patterns.WithinLoop(10).Refs(0, size) {
+		c.Access(r.Addr)
+	}
+	s := c.Stats()
+	if s.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (cold only): %+v", s.Misses, s)
+	}
+	if c.Extra().VictimHits != 18 {
+		t.Errorf("victim hits = %d, want 18", c.Extra().VictimHits)
+	}
+}
+
+func TestVictimOverwhelmedByManyConflicts(t *testing.T) {
+	// The paper's point: with more conflicting blocks than buffer
+	// entries, the victim cache stops helping. 8 blocks round-robin onto
+	// one line with a 4-entry buffer: the needed block is always 8-4=4
+	// evictions stale, so it never survives.
+	const size = 1 << 10
+	c := Must(cache.DM(size, 4), 4)
+	plain := cache.MustDirectMapped(cache.DM(size, 4))
+	for rep := 0; rep < 20; rep++ {
+		for b := uint64(0); b < 8; b++ {
+			addr := b * size
+			c.Access(addr)
+			plain.Access(addr)
+		}
+	}
+	if c.Stats().Misses != plain.Stats().Misses {
+		t.Errorf("victim misses %d, plain %d; 8-way conflict should defeat a 4-entry buffer",
+			c.Stats().Misses, plain.Stats().Misses)
+	}
+}
+
+func TestVictimSwapKeepsBothBlocksReachable(t *testing.T) {
+	const size = 1 << 10
+	c := Must(cache.DM(size, 4), 2)
+	c.Access(0)
+	c.Access(size) // true miss; block 0 moved to buffer
+	if !c.Contains(0) || !c.Contains(size) {
+		t.Error("both blocks should be reachable after eviction to buffer")
+	}
+	if got := c.Access(0); got != cache.Hit {
+		t.Errorf("swap access = %v, want Hit", got)
+	}
+	if got := c.Access(size); got != cache.Hit {
+		t.Errorf("swap back = %v, want Hit", got)
+	}
+}
+
+func TestVictimLRUEviction(t *testing.T) {
+	const size = 1 << 10
+	c := Must(cache.DM(size, 4), 2)
+	// Fill line 0's set three times: victims are blocks 0 then N.
+	c.Access(0)        // resident 0
+	c.Access(size)     // resident N, buffer [0]
+	c.Access(2 * size) // resident 2N, buffer [0, N]
+	c.Access(3 * size) // resident 3N, buffer [N, 2N] — 0 evicted (LRU)
+	if c.Contains(0) {
+		t.Error("oldest victim should have been evicted")
+	}
+	if !c.Contains(size) || !c.Contains(2*size) {
+		t.Error("younger victims should remain")
+	}
+}
+
+func TestVictimErrors(t *testing.T) {
+	if _, err := New(cache.DM(64, 4), 0); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := New(cache.Geometry{Size: 3, LineSize: 4}, 2); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Must did not panic")
+		}
+	}()
+	Must(cache.DM(64, 4), -1)
+}
+
+func TestVictimColdFillDoesNotPolluteBuffer(t *testing.T) {
+	c := Must(cache.DM(1<<10, 4), 2)
+	c.Access(0) // cold fill: nothing evicted, buffer empty
+	if c.Stats().Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", c.Stats().Evictions)
+	}
+	if got := c.Geometry().Ways; got != 1 {
+		t.Errorf("Ways = %d", got)
+	}
+}
