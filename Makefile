@@ -2,7 +2,9 @@
 
 .PHONY: all build test race cover bench experiments fuzz fmt vet
 
-all: build vet test
+# `race` is part of the default verify: the parallel simulation engine
+# (internal/engine) must stay race-clean, and CI enforces the same set.
+all: build vet test race
 
 build:
 	go build ./...

@@ -27,6 +27,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jsonMode = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
 		seed     = flag.Int64("seed", 0, "workload seed offset (sensitivity runs; 0 = the canonical suite)")
+		workers  = flag.Int("workers", 0, "simulation workers per experiment (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 		}
 	}
 
-	w := experiments.NewWorkloads(experiments.Config{Refs: *refs, SeedOffset: *seed})
+	w := experiments.NewWorkloads(experiments.Config{Refs: *refs, SeedOffset: *seed, Workers: *workers})
 	if *jsonMode {
 		enc := json.NewEncoder(os.Stdout)
 		for _, r := range runners {

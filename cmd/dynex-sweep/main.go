@@ -2,22 +2,33 @@
 // policies over a chosen workload — and prints the miss rates as CSV for
 // downstream plotting.
 //
+// The full grid is scheduled on the internal/engine worker pool, so every
+// (benchmark × size × line × policy) cell runs concurrently across all
+// cores while the CSV comes out in deterministic grid order — byte-
+// identical to a serial run. Interrupt (Ctrl-C) cancels the sweep.
+//
 // Examples:
 //
 //	dynex-sweep -bench gcc -sizes 4096,8192,16384 -lines 4,16 -policies dm,de,opt
 //	dynex-sweep -suite -kind data -sizes 8192 -policies dm,de > data.csv
+//	dynex-sweep -suite -workers 4 -progress
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/opt"
 	"repro/internal/spec"
 	"repro/internal/trace"
@@ -40,8 +51,13 @@ func run() error {
 		sizes     = flag.String("sizes", "4096,8192,16384,32768", "comma-separated cache sizes in bytes")
 		lines     = flag.String("lines", "4", "comma-separated line sizes in bytes")
 		policies  = flag.String("policies", "dm,de,opt", "comma-separated: dm, de, de-hashed, opt, lru2, lru4, victim")
+		workers   = flag.Int("workers", 0, "simulation workers (0 = all cores)")
+		progress  = flag.Bool("progress", false, "report cell progress on stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sizeList, err := parseUints(*sizes)
 	if err != nil {
@@ -52,6 +68,12 @@ func run() error {
 		return fmt.Errorf("bad -lines: %w", err)
 	}
 	polList := strings.Split(*policies, ",")
+
+	switch *kind {
+	case "instr", "data", "mixed":
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
 
 	var benches []spec.Benchmark
 	if *suite {
@@ -64,38 +86,90 @@ func run() error {
 		benches = []spec.Benchmark{b}
 	}
 
+	// Build the full cell grid up front — benchmark-major, then size,
+	// line, policy, matching the serial loop nest this command used to
+	// run — validating every cell before any simulation starts. Each
+	// benchmark's stream materializes lazily, once, on whichever worker
+	// reaches it first; all of its cells share the slice.
+	var cells []engine.Cell
+	for _, b := range benches {
+		b := b
+		var (
+			once   sync.Once
+			stream []trace.Ref
+		)
+		lazy := func() ([]trace.Ref, error) {
+			once.Do(func() {
+				switch *kind {
+				case "instr":
+					stream = b.Instr(*refs)
+				case "data":
+					stream = b.Data(*refs)
+				case "mixed":
+					stream = b.Mixed(*refs)
+				}
+			})
+			return stream, nil
+		}
+		for _, size := range sizeList {
+			for _, line := range lineList {
+				geom := cache.DM(size, line)
+				if err := geom.Validate(); err != nil {
+					return err
+				}
+				for _, pol := range polList {
+					cell, err := policyCell(strings.TrimSpace(pol), geom)
+					if err != nil {
+						return err
+					}
+					cell.Label = fmt.Sprintf("%s/%d/%d/%s", b.Name, size, line, pol)
+					cell.Stream = lazy
+					cells = append(cells, cell)
+				}
+			}
+		}
+	}
+
+	var report func(done, total int)
+	if *progress {
+		report = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	results, err := engine.Run(ctx, cells, engine.Options{Workers: *workers, Progress: report})
+	if err != nil {
+		return err
+	}
+
+	// Emit in cell order: the engine guarantees results[i] describes
+	// cells[i] regardless of completion order, so the CSV is identical to
+	// the serial version's.
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	if err := w.Write([]string{"benchmark", "kind", "size", "line", "policy", "miss_rate", "misses", "accesses"}); err != nil {
 		return err
 	}
+	i := 0
 	for _, b := range benches {
-		var stream []trace.Ref
-		switch *kind {
-		case "instr":
-			stream = b.Instr(*refs)
-		case "data":
-			stream = b.Data(*refs)
-		case "mixed":
-			stream = b.Mixed(*refs)
-		default:
-			return fmt.Errorf("unknown kind %q", *kind)
-		}
 		for _, size := range sizeList {
 			for _, line := range lineList {
 				for _, pol := range polList {
-					s, err := simulate(strings.TrimSpace(pol), stream, size, line)
-					if err != nil {
-						return err
+					res := results[i]
+					i++
+					if res.Err != nil {
+						return fmt.Errorf("%s: %w", res.Label, res.Err)
 					}
 					rec := []string{
 						b.Name, *kind,
 						strconv.FormatUint(size, 10),
 						strconv.FormatUint(line, 10),
 						pol,
-						strconv.FormatFloat(s.MissRate(), 'f', 6, 64),
-						strconv.FormatUint(s.Misses, 10),
-						strconv.FormatUint(s.Accesses, 10),
+						strconv.FormatFloat(res.Stats.MissRate(), 'f', 6, 64),
+						strconv.FormatUint(res.Stats.Misses, 10),
+						strconv.FormatUint(res.Stats.Accesses, 10),
 					}
 					if err := w.Write(rec); err != nil {
 						return err
@@ -107,51 +181,48 @@ func run() error {
 	return nil
 }
 
-// simulate runs one (policy, geometry) cell.
-func simulate(policy string, refs []trace.Ref, size, line uint64) (cache.Stats, error) {
-	geom := cache.DM(size, line)
-	if err := geom.Validate(); err != nil {
-		return cache.Stats{}, err
-	}
-	lastLine := line > 4
+// policyCell returns the engine cell body for one (policy, geometry).
+func policyCell(policy string, geom cache.Geometry) (engine.Cell, error) {
+	cell := engine.Cell{Geometry: geom}
+	lastLine := geom.LineSize > 4
 	switch policy {
 	case "dm":
-		c := cache.MustDirectMapped(geom)
-		cache.RunRefs(c, refs)
-		return c.Stats(), nil
+		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
+			return cache.NewDirectMapped(g)
+		}
 	case "de":
-		c := core.Must(core.Config{Geometry: geom, Store: core.NewTableStore(true), UseLastLine: lastLine})
-		cache.RunRefs(c, refs)
-		return c.Stats(), nil
+		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
+			return core.New(core.Config{Geometry: g, Store: core.NewTableStore(true), UseLastLine: lastLine})
+		}
 	case "de-hashed":
-		c := core.Must(core.Config{
-			Geometry:    geom,
-			Store:       core.MustHashedStore(int(geom.Lines())*4, true),
-			UseLastLine: lastLine,
-		})
-		cache.RunRefs(c, refs)
-		return c.Stats(), nil
+		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
+			store, err := core.NewHashedStore(int(g.Lines())*4, true)
+			if err != nil {
+				return nil, err
+			}
+			return core.New(core.Config{Geometry: g, Store: store, UseLastLine: lastLine})
+		}
 	case "opt":
-		return opt.SimulateDM(refs, geom, lastLine), nil
+		cell.Direct = func(refs []trace.Ref, g cache.Geometry) (cache.Stats, error) {
+			return opt.SimulateDM(refs, g, lastLine), nil
+		}
 	case "lru2", "lru4":
-		g := geom
-		g.Ways = 2
+		ways := 2
 		if policy == "lru4" {
-			g.Ways = 4
+			ways = 4
 		}
-		c, err := cache.NewSetAssoc(g, cache.LRU, 1)
-		if err != nil {
-			return cache.Stats{}, err
+		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
+			g.Ways = ways
+			return cache.NewSetAssoc(g, cache.LRU, 1)
 		}
-		cache.RunRefs(c, refs)
-		return c.Stats(), nil
 	case "victim":
-		c := victim.Must(geom, 4)
-		cache.RunRefs(c, refs)
-		return c.Stats(), nil
+		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
+			return victim.New(g, 4)
+		}
 	default:
-		return cache.Stats{}, fmt.Errorf("unknown policy %q", policy)
+		return engine.Cell{}, fmt.Errorf("unknown policy %q", policy)
 	}
+	return cell, nil
 }
 
 func parseUints(s string) ([]uint64, error) {

@@ -40,7 +40,7 @@ func run() error {
 		traceFile = flag.String("trace", "", "replay a dynex trace file instead of a benchmark (see cmd/tracegen)")
 		kind      = flag.String("kind", "instr", "reference stream: instr, data, or mixed")
 		refs      = flag.Int("refs", 1_000_000, "number of references to simulate")
-		warmup    = flag.Int("warmup", 0, "references excluded from the reported stats (single-level policies)")
+		warmup    = flag.Int("warmup", 0, "references excluded from the reported stats (single-level policies; must leave a nonempty window)")
 		size      = flag.Uint64("size", 32<<10, "cache size in bytes")
 		line      = flag.Uint64("line", 4, "line size in bytes")
 		policy    = flag.String("policy", "de", "dm, de, de-hashed, opt, lru2, lru4, fifo2, victim, stream")
@@ -67,24 +67,26 @@ func run() error {
 	fmt.Printf("workload: %s (%d refs)\ncache:    %s, policy %s\n\n", desc, len(streamRefs), geom, *policy)
 
 	if *l2 != 0 {
+		if *warmup != 0 {
+			return fmt.Errorf("-warmup is not supported with -l2 (hierarchy counters cover the full stream)")
+		}
 		return runHierarchy(streamRefs, geom, *l2, *strategy, *lastLine, *sticky)
 	}
-	if *warmup < 0 || *warmup >= len(streamRefs) {
-		*warmup = 0
+	if err := validateWarmup(*warmup, len(streamRefs)); err != nil {
+		return err
 	}
 
-	// report drives the simulator, optionally discarding a warmup prefix
-	// from the reported statistics.
-	report := func(sim cache.Simulator) cache.Stats {
-		cache.RunRefs(sim, streamRefs[:*warmup])
-		warm := sim.Stats()
-		cache.RunRefs(sim, streamRefs[*warmup:])
-		s := sim.Stats().Sub(warm)
+	// printStats reports the warmup-subtracted measurement window.
+	printStats := func(s cache.Stats) {
 		if *warmup > 0 {
 			fmt.Printf("(steady state after %d warmup refs)\n", *warmup)
 		}
 		fmt.Println(s)
-		return s
+	}
+	// report drives the simulator, discarding the warmup prefix from the
+	// reported statistics.
+	report := func(sim cache.Simulator) {
+		printStats(windowStats(sim, streamRefs, *warmup))
 	}
 
 	switch *policy {
@@ -96,12 +98,20 @@ func run() error {
 			store = core.MustHashedStore(int(geom.Lines())*4, true)
 		}
 		c := core.Must(core.Config{Geometry: geom, Store: store, UseLastLine: *lastLine, StickyMax: *sticky})
-		report(c)
-		ex := c.Extra()
+		// Snapshot the exclusion counters over the same warmup window as
+		// the headline stats, so both describe the steady state.
+		cache.RunRefs(c, streamRefs[:*warmup])
+		warmStats, warmExtra := c.Stats(), c.Extra()
+		cache.RunRefs(c, streamRefs[*warmup:])
+		printStats(c.Stats().Sub(warmStats))
+		ex := c.Extra().Sub(warmExtra)
 		fmt.Printf("exclusion: defenses=%d overrides=%d lastline-hits=%d\n",
 			ex.StickyDefenses, ex.HitLastOverrides, ex.LastLineHits)
 	case "opt":
-		fmt.Println(opt.SimulateDM(streamRefs, geom, *lastLine))
+		// The optimal simulator needs the whole stream's future knowledge,
+		// so warmup means counting only post-warmup outcomes rather than
+		// snapshotting a live simulator.
+		printStats(opt.SimulateDMWindow(streamRefs, geom, *lastLine, *warmup))
 	case "lru2", "lru4", "fifo2":
 		g := geom
 		g.Ways = 2
@@ -119,16 +129,45 @@ func run() error {
 		report(c)
 	case "victim":
 		c := victim.Must(geom, 4)
-		report(c)
-		fmt.Printf("victim hits: %d\n", c.Extra().VictimHits)
+		cache.RunRefs(c, streamRefs[:*warmup])
+		warmStats, warmExtra := c.Stats(), c.Extra()
+		cache.RunRefs(c, streamRefs[*warmup:])
+		printStats(c.Stats().Sub(warmStats))
+		fmt.Printf("victim hits: %d\n", c.Extra().Sub(warmExtra).VictimHits)
 	case "stream":
 		c := stream.Must(geom, 4)
-		report(c)
-		fmt.Printf("stream hits: %d\n", c.Extra().StreamHits)
+		cache.RunRefs(c, streamRefs[:*warmup])
+		warmStats, warmExtra := c.Stats(), c.Extra()
+		cache.RunRefs(c, streamRefs[*warmup:])
+		printStats(c.Stats().Sub(warmStats))
+		fmt.Printf("stream hits: %d\n", c.Extra().Sub(warmExtra).StreamHits)
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 	return nil
+}
+
+// validateWarmup rejects warmup windows that leave nothing to measure. A
+// silently clamped warmup would report full-stream numbers while claiming
+// a steady-state window.
+func validateWarmup(warmup, n int) error {
+	if warmup < 0 {
+		return fmt.Errorf("-warmup %d is negative", warmup)
+	}
+	if warmup > 0 && warmup >= n {
+		return fmt.Errorf("-warmup %d consumes the whole %d-reference stream; nothing left to measure", warmup, n)
+	}
+	return nil
+}
+
+// windowStats drives sim over refs and returns the stats of the
+// measurement window refs[warmup:]: the counters are snapshotted after
+// the warmup prefix and subtracted from the final counters.
+func windowStats(sim cache.Simulator, refs []trace.Ref, warmup int) cache.Stats {
+	cache.RunRefs(sim, refs[:warmup])
+	warm := sim.Stats()
+	cache.RunRefs(sim, refs[warmup:])
+	return sim.Stats().Sub(warm)
 }
 
 // loadRefs builds the requested reference stream.

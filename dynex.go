@@ -143,7 +143,10 @@ func NewSetAssoc(g Geometry, policy cache.Policy, seed int64) (*SetAssoc, error)
 	return cache.NewSetAssoc(g, policy, seed)
 }
 
-// Run drives a simulator from a Reader (limit <= 0 means until EOF).
+// Run drives a simulator from a Reader (limit <= 0 means until EOF). On
+// a reader error the returned count is the number of references delivered
+// to sim before the error — sim's Stats describe exactly that prefix, so
+// the valid head of a corrupt trace can still be reported.
 func Run(sim Simulator, r Reader, limit int) (int, error) { return cache.Run(sim, r, limit) }
 
 // RunRefs drives a simulator over an in-memory stream.

@@ -1,6 +1,8 @@
 package repro_test
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"repro"
@@ -118,3 +120,50 @@ func TestFacadeOptimalSetAssoc(t *testing.T) {
 		t.Errorf("OPT 2-way (abc)^10 misses = %d, want 12", st.Misses)
 	}
 }
+
+// TestFacadeRunPartialCount pins repro.Run's error semantics through the
+// public API: a corrupt trace delivers its valid prefix (counted exactly)
+// before the decode error surfaces.
+func TestFacadeRunPartialCount(t *testing.T) {
+	var buf bytes.Buffer
+	const good = 5
+	refs := make([]repro.Ref, good)
+	for i := range refs {
+		refs[i] = repro.Ref{Addr: uint64(i) * 4, Kind: repro.Instr}
+	}
+	if _, err := repro.WriteTrace(&buf, sliceReader(refs)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0x03) // record with invalid kind bits
+
+	r, err := repro.OpenTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := repro.MustDirectMapped(repro.DM(64, 4))
+	n, err := repro.Run(sim, r, 0)
+	if err == nil {
+		t.Fatal("corrupt trace did not error")
+	}
+	if n != good || sim.Stats().Accesses != good {
+		t.Errorf("delivered %d refs, stats %d accesses; want %d of each", n, sim.Stats().Accesses, good)
+	}
+}
+
+// sliceReader adapts a slice to repro.Reader without reaching into
+// internal packages.
+func sliceReader(refs []repro.Ref) repro.Reader {
+	i := 0
+	return readerFunc(func() (repro.Ref, error) {
+		if i >= len(refs) {
+			return repro.Ref{}, io.EOF
+		}
+		r := refs[i]
+		i++
+		return r, nil
+	})
+}
+
+type readerFunc func() (repro.Ref, error)
+
+func (f readerFunc) Next() (repro.Ref, error) { return f() }

@@ -8,6 +8,12 @@ import (
 
 // Run drives sim with every reference from r (at most limit references;
 // limit <= 0 means all) and returns the number of references delivered.
+//
+// Partial-count semantics, matching trace.Collect and trace.Drive: on a
+// reader error, the returned n is the number of references that were
+// delivered to sim before the error — sim's Stats describe exactly those
+// n accesses, so a caller can still report the valid prefix of a corrupt
+// trace alongside the error.
 func Run(sim Simulator, r trace.Reader, limit int) (int, error) {
 	n := 0
 	for limit <= 0 || n < limit {

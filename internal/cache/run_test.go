@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// errReader yields n good references, then a terminal non-EOF error.
+type errReader struct {
+	n   int
+	err error
+}
+
+func (r *errReader) Next() (trace.Ref, error) {
+	if r.n <= 0 {
+		return trace.Ref{}, r.err
+	}
+	r.n--
+	return trace.Ref{Addr: uint64(r.n) * 4}, nil
+}
+
+// TestRunPartialCountOnError pins the documented semantics: on a reader
+// error, Run returns the number of references delivered to the simulator
+// before the error, and the simulator's stats cover exactly that prefix.
+func TestRunPartialCountOnError(t *testing.T) {
+	boom := errors.New("boom")
+	sim := MustDirectMapped(DM(64, 4))
+	n, err := Run(sim, &errReader{n: 7, err: boom}, 0)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 7 {
+		t.Errorf("n = %d, want 7", n)
+	}
+	if sim.Stats().Accesses != 7 {
+		t.Errorf("sim saw %d accesses, want 7", sim.Stats().Accesses)
+	}
+
+	// A limit below the error point hides the error entirely.
+	sim2 := MustDirectMapped(DM(64, 4))
+	n, err = Run(sim2, &errReader{n: 7, err: boom}, 5)
+	if err != nil || n != 5 {
+		t.Errorf("limited run = %d, %v; want 5, nil", n, err)
+	}
+}
+
+// corruptTraceFile writes a trace file holding good references followed
+// by a corrupt record, and returns its path.
+func corruptTraceFile(t *testing.T, good int, garbage []byte) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < good; i++ {
+		if err := w.Write(trace.Ref{Addr: uint64(i) * 4, Kind: trace.Instr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(garbage)
+	path := filepath.Join(t.TempDir(), "corrupt.dynextrace")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunOverCorruptTraceFile drives Run over trace files whose tail is
+// corrupt: the good prefix must be delivered and counted, then the
+// decoder's error surfaces.
+func TestRunOverCorruptTraceFile(t *testing.T) {
+	cases := []struct {
+		name    string
+		garbage []byte
+	}{
+		// kind bits 3 are invalid in the record encoding.
+		{"bad-kind", []byte{0x03}},
+		// A varint cut off mid-encoding (continuation bit set, then EOF).
+		{"truncated-varint", []byte{0xff}},
+		// An 11-byte varint overflows uint64.
+		{"overlong-varint", bytes.Repeat([]byte{0x80}, 10)},
+	}
+	const good = 9
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := os.Open(corruptTraceFile(t, good, tc.garbage))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			r, err := trace.NewFileReader(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := MustDirectMapped(DM(64, 4))
+			n, err := Run(sim, r, 0)
+			if err == nil || errors.Is(err, io.EOF) {
+				t.Fatalf("Run over corrupt trace: err = %v, want decode error", err)
+			}
+			if n != good {
+				t.Errorf("n = %d, want %d (the valid prefix)", n, good)
+			}
+			if sim.Stats().Accesses != good {
+				t.Errorf("sim saw %d accesses, want %d", sim.Stats().Accesses, good)
+			}
+		})
+	}
+}

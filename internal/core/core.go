@@ -129,6 +129,18 @@ type ExtraStats struct {
 	HitLastOverrides uint64
 }
 
+// Sub returns the difference e - earlier. Like cache.Stats.Sub it
+// measures a steady-state window: snapshot the counters after warmup and
+// subtract the snapshot from the final counters, so the exclusion
+// counters cover the same window as the warmup-subtracted Stats.
+func (e ExtraStats) Sub(earlier ExtraStats) ExtraStats {
+	return ExtraStats{
+		LastLineHits:     e.LastLineHits - earlier.LastLineHits,
+		StickyDefenses:   e.StickyDefenses - earlier.StickyDefenses,
+		HitLastOverrides: e.HitLastOverrides - earlier.HitLastOverrides,
+	}
+}
+
 // New returns a dynamic exclusion cache.
 func New(cfg Config) (*Cache, error) {
 	cfg.Geometry.Ways = 1

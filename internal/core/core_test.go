@@ -378,3 +378,16 @@ func TestDriveWithTraceReader(t *testing.T) {
 		t.Errorf("accesses = %d", c.Stats().Accesses)
 	}
 }
+
+func TestExtraStatsSub(t *testing.T) {
+	later := ExtraStats{LastLineHits: 10, StickyDefenses: 7, HitLastOverrides: 5}
+	earlier := ExtraStats{LastLineHits: 4, StickyDefenses: 2, HitLastOverrides: 5}
+	got := later.Sub(earlier)
+	want := ExtraStats{LastLineHits: 6, StickyDefenses: 5, HitLastOverrides: 0}
+	if got != want {
+		t.Errorf("Sub = %+v, want %+v", got, want)
+	}
+	if diff := later.Sub(ExtraStats{}); diff != later {
+		t.Errorf("Sub(zero) = %+v, want %+v", diff, later)
+	}
+}

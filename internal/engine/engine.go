@@ -1,0 +1,200 @@
+// Package engine schedules independent cache simulations across a bounded
+// pool of workers.
+//
+// The paper's evaluation is thousands of independent (stream, geometry,
+// policy) simulations — every point of every figure is one such cell — and
+// trace-driven cache simulation parallelizes embarrassingly across cells
+// (cf. DEW, arXiv:1506.03181). The engine turns a slice of Cells into a
+// result table using min(GOMAXPROCS, n) workers by default, preserving
+// input order in the output regardless of completion order, so callers
+// that format results (CSV writers, figure tables) emit byte-identical
+// output to a serial run.
+//
+// Guarantees:
+//
+//   - Determinism: Results[i] always describes Cells[i]. Completion order
+//     never leaks into the result table.
+//   - Bounded parallelism: at most Options.Workers cells are in flight.
+//   - Cancellation: when ctx is done, workers stop picking up new cells;
+//     cells never started carry ctx's error in Result.Err. Cells already
+//     running finish (simulations are finite and uninterruptible).
+//   - Isolation: a cell's error (stream or constructor failure) lands in
+//     its Result.Err without affecting other cells.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// PolicyFunc constructs a fresh simulator for a cell's geometry. It is
+// called on a worker goroutine, once per cell.
+type PolicyFunc func(geom cache.Geometry) (cache.Simulator, error)
+
+// DirectFunc simulates policies that need the materialized stream up
+// front (Belady-optimal replacement) and produce final stats directly.
+type DirectFunc func(refs []trace.Ref, geom cache.Geometry) (cache.Stats, error)
+
+// Cell is one schedulable simulation: a reference stream, a cache
+// geometry, and a policy. Exactly one of Policy or Direct must be set.
+type Cell struct {
+	// Label identifies the cell in its Result (free-form; e.g.
+	// "gcc/32768/4/de").
+	Label string
+	// Geometry is the cache shape handed to Policy or Direct.
+	Geometry cache.Geometry
+	// Stream materializes the cell's reference stream. It is called on a
+	// worker goroutine, so a stream shared between cells must be safe for
+	// concurrent materialization (experiments.Workloads is; a sync.Once
+	// closure also works). A nil Stream yields an empty stream.
+	Stream func() ([]trace.Ref, error)
+	// Policy constructs the simulator; the engine drives it over the
+	// stream and collects its Stats.
+	Policy PolicyFunc
+	// Direct runs the whole simulation itself (future-knowledge policies).
+	Direct DirectFunc
+}
+
+// Result is the outcome of one cell.
+type Result struct {
+	// Label echoes the cell's label.
+	Label string
+	// Stats is the simulation outcome (zero when Err is set).
+	Stats cache.Stats
+	// Wall is the cell's wall-clock simulation time, including stream
+	// materialization when this cell was the one to trigger it.
+	Wall time.Duration
+	// Err is the cell's failure, or the context error for cells skipped
+	// after cancellation.
+	Err error
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Workers bounds in-flight cells; <= 0 means GOMAXPROCS. The bound is
+	// additionally clamped to the number of cells.
+	Workers int
+	// Progress, when non-nil, is called after each completed cell with
+	// (cells done, cells total). Calls are serialized, so the callback
+	// needs no locking of its own; keep it cheap — workers block on it.
+	Progress func(done, total int)
+}
+
+// errNoPolicy reports a cell with neither Policy nor Direct.
+var errNoPolicy = errors.New("engine: cell needs exactly one of Policy or Direct")
+
+// clampWorkers resolves the worker count for n units of work.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// parfor runs body(i) for i in [0, n) across the given number of workers.
+func parfor(n, workers int, body func(i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run simulates every cell and returns the results in cell order. The
+// returned slice always has len(cells) entries; inspect Result.Err per
+// cell. The returned error is ctx's error if the run was cancelled
+// mid-sweep, nil otherwise (per-cell failures do not abort the run).
+func Run(ctx context.Context, cells []Cell, opts Options) ([]Result, error) {
+	results := make([]Result, len(cells))
+	if len(cells) == 0 {
+		return results, ctx.Err()
+	}
+	var (
+		done       atomic.Int64
+		progressMu sync.Mutex
+	)
+	parfor(len(cells), clampWorkers(opts.Workers, len(cells)), func(i int) {
+		if err := ctx.Err(); err != nil {
+			results[i] = Result{Label: cells[i].Label, Err: err}
+			return
+		}
+		results[i] = runCell(cells[i])
+		d := int(done.Add(1))
+		if opts.Progress != nil {
+			progressMu.Lock()
+			opts.Progress(d, len(cells))
+			progressMu.Unlock()
+		}
+	})
+	return results, ctx.Err()
+}
+
+// runCell executes one cell.
+func runCell(c Cell) Result {
+	start := time.Now()
+	res := Result{Label: c.Label}
+	var refs []trace.Ref
+	if c.Stream != nil {
+		var err error
+		if refs, err = c.Stream(); err != nil {
+			res.Err = err
+			res.Wall = time.Since(start)
+			return res
+		}
+	}
+	switch {
+	case c.Policy != nil && c.Direct == nil:
+		sim, err := c.Policy(c.Geometry)
+		if err != nil {
+			res.Err = err
+			break
+		}
+		cache.RunRefs(sim, refs)
+		res.Stats = sim.Stats()
+	case c.Direct != nil && c.Policy == nil:
+		res.Stats, res.Err = c.Direct(refs, c.Geometry)
+	default:
+		res.Err = errNoPolicy
+	}
+	res.Wall = time.Since(start)
+	return res
+}
+
+// ForEach runs f(i) for every i in [0, n) across a bounded worker pool —
+// the engine's primitive for experiment bodies that aggregate arbitrary
+// per-benchmark state instead of producing a Stats table. f is called at
+// most once per index; indices not yet started when ctx is cancelled are
+// skipped. Returns ctx's error if cancelled, nil otherwise.
+func ForEach(ctx context.Context, n, workers int, f func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	parfor(n, clampWorkers(workers, n), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		f(i)
+	})
+	return ctx.Err()
+}

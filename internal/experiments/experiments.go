@@ -7,12 +7,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/opt"
 	"repro/internal/spec"
@@ -31,6 +34,8 @@ type Config struct {
 	// structurally similar but distinct workload suite — a sensitivity
 	// check that conclusions do not hinge on one particular random CFG.
 	SeedOffset int64
+	// Workers bounds the engine's simulation parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c Config) refs() int {
@@ -40,14 +45,38 @@ func (c Config) refs() int {
 	return c.Refs
 }
 
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
 // Workloads lazily collects and caches the suite's reference streams so
-// that figures sharing a stream do not regenerate it.
+// that figures sharing a stream do not regenerate it. It is goroutine-
+// safe: engine workers materialize streams concurrently on first use, and
+// each stream is generated exactly once (per-stream sync.Once, with the
+// entry map guarded by a mutex).
 type Workloads struct {
 	cfg   Config
 	suite []spec.Benchmark
-	instr map[string][]trace.Ref
-	data  map[string][]trace.Ref
-	mixed map[string][]trace.Ref
+
+	mu      sync.Mutex
+	streams map[streamKey]*streamEntry
+}
+
+// streamKey identifies one cached stream.
+type streamKey struct {
+	kind string // "instr", "data", or "mixed"
+	name string // benchmark name
+}
+
+// streamEntry materializes one stream exactly once, without holding the
+// Workloads mutex during generation (so independent streams generate in
+// parallel while callers of the same stream block only on its Once).
+type streamEntry struct {
+	once sync.Once
+	refs []trace.Ref
 }
 
 // NewWorkloads returns an empty cache over the standard suite (or a
@@ -63,11 +92,9 @@ func NewWorkloads(cfg Config) *Workloads {
 		}
 	}
 	return &Workloads{
-		cfg:   cfg,
-		suite: suite,
-		instr: map[string][]trace.Ref{},
-		data:  map[string][]trace.Ref{},
-		mixed: map[string][]trace.Ref{},
+		cfg:     cfg,
+		suite:   suite,
+		streams: map[streamKey]*streamEntry{},
 	}
 }
 
@@ -95,42 +122,48 @@ func (w *Workloads) find(name string) spec.Benchmark {
 	panic(fmt.Sprintf("experiments: unknown benchmark %q", name))
 }
 
+// stream returns the cached stream for key, generating it (exactly once,
+// even under concurrent callers) with gen on first use.
+func (w *Workloads) stream(key streamKey, gen func() []trace.Ref) []trace.Ref {
+	w.mu.Lock()
+	e := w.streams[key]
+	if e == nil {
+		e = &streamEntry{}
+		w.streams[key] = e
+	}
+	w.mu.Unlock()
+	e.once.Do(func() { e.refs = gen() })
+	return e.refs
+}
+
 // Instr returns (and caches) the benchmark's instruction stream.
 func (w *Workloads) Instr(name string) []trace.Ref {
-	if r, ok := w.instr[name]; ok {
-		return r
-	}
-	r := w.find(name).Instr(w.cfg.refs())
-	w.instr[name] = r
-	return r
+	return w.stream(streamKey{"instr", name}, func() []trace.Ref {
+		return w.find(name).Instr(w.cfg.refs())
+	})
 }
 
 // Data returns (and caches) the benchmark's data stream.
 func (w *Workloads) Data(name string) []trace.Ref {
-	if r, ok := w.data[name]; ok {
-		return r
-	}
-	r := w.find(name).Data(w.cfg.refs())
-	w.data[name] = r
-	return r
+	return w.stream(streamKey{"data", name}, func() []trace.Ref {
+		return w.find(name).Data(w.cfg.refs())
+	})
 }
 
 // Mixed returns (and caches) the benchmark's combined stream.
 func (w *Workloads) Mixed(name string) []trace.Ref {
-	if r, ok := w.mixed[name]; ok {
-		return r
-	}
-	r := w.find(name).Mixed(w.cfg.refs())
-	w.mixed[name] = r
-	return r
+	return w.stream(streamKey{"mixed", name}, func() []trace.Ref {
+		return w.find(name).Mixed(w.cfg.refs())
+	})
 }
 
 // Release drops all cached streams (the per-figure drivers in bench mode
-// use it to bound memory).
+// use it to bound memory). Concurrent stream readers started before the
+// call keep their slices; later lookups regenerate.
 func (w *Workloads) Release() {
-	w.instr = map[string][]trace.Ref{}
-	w.data = map[string][]trace.Ref{}
-	w.mixed = map[string][]trace.Ref{}
+	w.mu.Lock()
+	w.streams = map[streamKey]*streamEntry{}
+	w.mu.Unlock()
 }
 
 // The three simulated policies of the single-level figures. "Dynamic
@@ -168,25 +201,16 @@ func instrKind(w *Workloads, name string) []trace.Ref { return w.Instr(name) }
 func dataKind(w *Workloads, name string) []trace.Ref  { return w.Data(name) }
 func mixedKind(w *Workloads, name string) []trace.Ref { return w.Mixed(name) }
 
-// forEachBenchmark runs f concurrently for every benchmark (simulations
-// over different benchmarks are independent). Streams are materialized
-// serially first because the workload cache is not goroutine-safe; f
-// receives the suite index so callers write into pre-sized slices.
+// forEachBenchmark runs f for every benchmark across the engine's bounded
+// worker pool (simulations over different benchmarks are independent).
+// Streams materialize lazily inside the workers — the workload cache is
+// goroutine-safe — so generation itself is parallel. f receives the suite
+// index so callers write into pre-sized slices.
 func forEachBenchmark(w *Workloads, kind kindOf, f func(i int, refs []trace.Ref)) {
 	names := w.Names()
-	streams := make([][]trace.Ref, len(names))
-	for i, name := range names {
-		streams[i] = kind(w, name)
-	}
-	var wg sync.WaitGroup
-	for i := range names {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			f(i, streams[i])
-		}(i)
-	}
-	wg.Wait()
+	engine.ForEach(context.Background(), len(names), w.cfg.workers(), func(i int) {
+		f(i, kind(w, names[i]))
+	})
 }
 
 // suiteRates runs one rate function per benchmark concurrently and
@@ -199,20 +223,67 @@ func suiteRates(w *Workloads, kind kindOf, rate func(refs []trace.Ref) float64) 
 	return out
 }
 
+// sweepPolicies is the cell layout of sweepAverages: the three simulated
+// policies of the single-level figures, in column order.
+func sweepPolicies(lastLine bool) []engine.Cell {
+	return []engine.Cell{
+		{Label: "dm", Policy: func(g cache.Geometry) (cache.Simulator, error) {
+			return cache.NewDirectMapped(g)
+		}},
+		{Label: "de", Policy: func(g cache.Geometry) (cache.Simulator, error) {
+			return core.New(core.Config{Geometry: g, Store: core.NewTableStore(true), UseLastLine: lastLine})
+		}},
+		{Label: "opt", Direct: func(refs []trace.Ref, g cache.Geometry) (cache.Stats, error) {
+			return opt.SimulateDM(refs, g, lastLine), nil
+		}},
+	}
+}
+
 // sweepAverages computes suite-average miss-rate curves for the three
 // policies over the given cache sizes at one line size. The paper's
-// Figures 4, 11, 12, 14, and 15 are all instances of this sweep.
+// Figures 4, 11, 12, 14, and 15 are all instances of this sweep. The
+// whole size × benchmark × policy grid is one engine run, so cells from
+// different sizes execute concurrently; the engine's deterministic result
+// order makes the aggregation independent of scheduling.
 func sweepAverages(w *Workloads, kind kindOf, sizes []uint64, lineSize uint64, lastLine bool) (dm, de, op metrics.Series) {
 	dm.Name, de.Name, op.Name = "direct-mapped", "dynamic exclusion", "optimal direct-mapped"
+	names := w.Names()
+	pols := sweepPolicies(lastLine)
+
+	// Cells laid out size-major, then benchmark, then policy.
+	cells := make([]engine.Cell, 0, len(sizes)*len(names)*len(pols))
 	for _, size := range sizes {
 		geom := cache.DM(size, lineSize)
-		n := len(w.Names())
+		for _, name := range names {
+			name := name
+			stream := func() ([]trace.Ref, error) { return kind(w, name), nil }
+			for _, pol := range pols {
+				c := pol
+				c.Label = fmt.Sprintf("%s/%d/%s", name, size, pol.Label)
+				c.Geometry = geom
+				c.Stream = stream
+				cells = append(cells, c)
+			}
+		}
+	}
+	results, err := engine.Run(context.Background(), cells, engine.Options{Workers: w.cfg.workers()})
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+
+	n := len(names)
+	for si, size := range sizes {
 		dms, des, ops := make([]float64, n), make([]float64, n), make([]float64, n)
-		forEachBenchmark(w, kind, func(i int, refs []trace.Ref) {
-			dms[i] = dmRate(refs, geom)
-			des[i] = deRate(refs, geom, lastLine)
-			ops[i] = optRate(refs, geom, lastLine)
-		})
+		for bi := 0; bi < n; bi++ {
+			base := (si*n + bi) * len(pols)
+			for p, rates := range [][]float64{dms, des, ops} {
+				r := results[base+p]
+				if r.Err != nil {
+					panic("experiments: " + r.Label + ": " + r.Err.Error())
+				}
+				rates[bi] = r.Stats.MissRate()
+			}
+		}
 		x := float64(size) / 1024
 		dm.Points = append(dm.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(dms)})
 		de.Points = append(de.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(des)})

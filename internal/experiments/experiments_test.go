@@ -3,7 +3,10 @@ package experiments
 import (
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // Small reference counts keep the test suite quick; the shape assertions
@@ -71,6 +74,43 @@ func TestWorkloadsCaching(t *testing.T) {
 	}
 	if len(w.Names()) != 10 {
 		t.Errorf("Names = %v", w.Names())
+	}
+}
+
+// TestWorkloadsConcurrent hammers the stream cache from many goroutines
+// — the engine's workers do exactly this — and checks each stream is
+// materialized once (same backing array for every caller). Run under
+// -race this is the goroutine-safety proof for Workloads.
+func TestWorkloadsConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment simulations")
+	}
+	w := NewWorkloads(Config{Refs: 20_000})
+	names := w.Names()
+	kinds := []kindOf{instrKind, dataKind, mixedKind}
+	type got struct{ first *trace.Ref }
+	results := make([]got, len(names)*len(kinds)*4)
+	var wg sync.WaitGroup
+	for g := range results {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kind := kinds[(g/len(names))%len(kinds)]
+			refs := kind(w, names[g%len(names)])
+			results[g] = got{first: &refs[0]}
+		}()
+	}
+	wg.Wait()
+	// Every goroutine that asked for the same (kind, name) must share one
+	// materialization.
+	byStream := map[int]*trace.Ref{}
+	for g, r := range results {
+		key := g % (len(names) * len(kinds))
+		if prev, ok := byStream[key]; ok && prev != r.first {
+			t.Fatalf("stream %d materialized more than once", key)
+		}
+		byStream[key] = r.first
 	}
 }
 

@@ -47,28 +47,51 @@ func nextUses(refs []trace.Ref, geom cache.Geometry) []int64 {
 // replacement decision, matching what the dynamic exclusion hardware is
 // given in the long-line experiments.
 func SimulateDM(refs []trace.Ref, geom cache.Geometry, useLastLine bool) cache.Stats {
+	return SimulateDMWindow(refs, geom, useLastLine, 0)
+}
+
+// SimulateDMWindow is SimulateDM restricted to a measurement window: the
+// replacement decisions still use the whole stream's future knowledge,
+// but only the outcomes of refs[warmup:] are counted. That is the optimal
+// policy's steady-state window, directly comparable to the online
+// policies' warmup-subtracted Stats (cache.Stats.Sub after a warmup
+// snapshot). warmup 0 reproduces SimulateDM exactly.
+func SimulateDMWindow(refs []trace.Ref, geom cache.Geometry, useLastLine bool, warmup int) cache.Stats {
 	geom.Ways = 1
 	if err := geom.Validate(); err != nil {
 		panic("opt: " + err.Error())
 	}
+	if warmup < 0 {
+		warmup = 0
+	}
 	var stats cache.Stats
+	// count records the outcome of the reference at original stream
+	// position pos, discarding warmup-window events.
+	count := func(pos int, r cache.Result, evicted bool) {
+		if pos >= warmup {
+			stats.Record(r, evicted)
+		}
+	}
 
 	work := refs
+	var orig []int // work index -> original refs index (nil = identity)
 	if useLastLine {
 		// Collapse runs of same-line references: the in-run references
 		// are unconditional buffer hits; only run heads reach the cache.
 		work = make([]trace.Ref, 0, len(refs))
+		orig = make([]int, 0, len(refs))
 		haveLast := false
 		var last uint64
-		for _, r := range refs {
+		for i, r := range refs {
 			b := geom.Block(r.Addr)
 			if haveLast && b == last {
-				stats.Record(cache.Hit, false)
+				count(i, cache.Hit, false)
 				continue
 			}
 			haveLast = true
 			last = b
 			work = append(work, r)
+			orig = append(orig, i)
 		}
 	}
 
@@ -79,11 +102,15 @@ func SimulateDM(refs []trace.Ref, geom cache.Geometry, useLastLine bool) cache.S
 	valid := make([]bool, nsets)
 
 	for i, r := range work {
+		pos := i
+		if orig != nil {
+			pos = orig[i]
+		}
 		b := geom.Block(r.Addr)
 		set := b % nsets
 		if valid[set] && resBlock[set] == b {
 			resNext[set] = next[i]
-			stats.Record(cache.Hit, false)
+			count(pos, cache.Hit, false)
 			continue
 		}
 		switch {
@@ -91,15 +118,15 @@ func SimulateDM(refs []trace.Ref, geom cache.Geometry, useLastLine bool) cache.S
 			valid[set] = true
 			resBlock[set] = b
 			resNext[set] = next[i]
-			stats.Record(cache.MissFill, false)
+			count(pos, cache.MissFill, false)
 		case next[i] < resNext[set]:
 			// The newcomer is needed sooner: replace.
 			resBlock[set] = b
 			resNext[set] = next[i]
-			stats.Record(cache.MissFill, true)
+			count(pos, cache.MissFill, true)
 		default:
 			// The resident is needed sooner (or equally late): bypass.
-			stats.Record(cache.MissBypass, false)
+			count(pos, cache.MissBypass, false)
 		}
 	}
 	return stats

@@ -245,3 +245,53 @@ func TestSimulateDMPanicsOnBadGeometry(t *testing.T) {
 	}()
 	SimulateDM(nil, cache.Geometry{Size: 3, LineSize: 4}, false)
 }
+
+// TestSimulateDMWindowPartition checks the per-reference attribution of
+// SimulateDMWindow: successive windows differ by exactly the one access
+// at the window boundary, and the windows telescope back to the full-
+// stream stats. This holds with and without the last-line buffer.
+func TestSimulateDMWindowPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	refs := make([]trace.Ref, 300)
+	for i := range refs {
+		// Few blocks over few sets so conflicts, hits, and bypasses all occur;
+		// short sequential runs exercise the last-line collapse.
+		if i > 0 && rng.Intn(3) == 0 {
+			refs[i] = trace.Ref{Addr: refs[i-1].Addr + 4}
+		} else {
+			refs[i] = trace.Ref{Addr: uint64(rng.Intn(64)) * 4}
+		}
+	}
+	for _, lastLine := range []bool{false, true} {
+		geom := cache.DM(64, 16)
+		full := SimulateDM(refs, geom, lastLine)
+		if got := SimulateDMWindow(refs, geom, lastLine, 0); got != full {
+			t.Fatalf("lastLine=%v: window(0) = %+v, want %+v", lastLine, got, full)
+		}
+		prev := full
+		for k := 1; k <= len(refs); k++ {
+			win := SimulateDMWindow(refs, geom, lastLine, k)
+			if win.Accesses != uint64(len(refs)-k) {
+				t.Fatalf("lastLine=%v warmup=%d: accesses %d, want %d",
+					lastLine, k, win.Accesses, len(refs)-k)
+			}
+			// prev - win is the single access at position k-1.
+			d := prev.Sub(win)
+			if d.Accesses != 1 || d.Hits+d.Misses != 1 {
+				t.Fatalf("lastLine=%v warmup=%d: boundary delta %+v", lastLine, k, d)
+			}
+			prev = win
+		}
+		if prev.Accesses != 0 {
+			t.Fatalf("lastLine=%v: window(len) not empty: %+v", lastLine, prev)
+		}
+	}
+}
+
+// TestSimulateDMWindowNegativeWarmup checks warmup < 0 behaves as 0.
+func TestSimulateDMWindowNegativeWarmup(t *testing.T) {
+	refs := patterns.WithinLoop(10).Refs(0, size)
+	if got, want := SimulateDMWindow(refs, geomDM(), false, -5), SimulateDM(refs, geomDM(), false); got != want {
+		t.Errorf("window(-5) = %+v, want %+v", got, want)
+	}
+}

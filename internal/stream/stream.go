@@ -69,6 +69,12 @@ type ExtraStats struct {
 	StreamHits uint64
 }
 
+// Sub returns the difference e - earlier, measuring a steady-state window
+// alongside cache.Stats.Sub.
+func (e ExtraStats) Sub(earlier ExtraStats) ExtraStats {
+	return ExtraStats{StreamHits: e.StreamHits - earlier.StreamHits}
+}
+
 // New returns a direct-mapped cache with a stream buffer of depth lines.
 func New(geom cache.Geometry, depth int) (*Cache, error) {
 	geom.Ways = 1

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Deterministic regression tests for the 62-bit address-space boundary of
+// the trace file format, promoted from fuzz-only coverage (FuzzRoundTrip
+// explores this region randomly; these cases pin it down).
+
+// roundTrip encodes refs and decodes them back.
+func roundTrip(t *testing.T, refs []Ref) []Ref {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteAll(w, NewSliceReader(refs)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRoundTripAddrMaskBoundary exercises deltas that straddle 1<<62:
+// wraps across AddrMask in both directions, the maximal positive delta,
+// and the maximal negative delta (-2^61, which maps to itself under the
+// signed interpretation of a mod-2^62 difference).
+func TestRoundTripAddrMaskBoundary(t *testing.T) {
+	const half = uint64(1) << 61 // 2^61, the signed-delta boundary
+	cases := []struct {
+		name  string
+		addrs []uint64
+	}{
+		{"wrap-up", []uint64{AddrMask, 0, AddrMask, 1}},
+		{"wrap-down", []uint64{0, AddrMask, 1, AddrMask - 1}},
+		{"max-positive-delta", []uint64{0, half - 1, 0}},
+		{"max-negative-delta", []uint64{0, half, 0}}, // ±2^61 both zigzag as -2^61
+		{"around-half", []uint64{half - 1, half, half + 1, half - 1}},
+		{"mask-itself", []uint64{AddrMask, AddrMask, 0, 0}},
+		{"alternating-extremes", []uint64{0, AddrMask, 0, AddrMask, half, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			refs := make([]Ref, len(tc.addrs))
+			for i, a := range tc.addrs {
+				refs[i] = Ref{Addr: a, Kind: Kind(i % 3)}
+			}
+			got := roundTrip(t, refs)
+			if len(got) != len(refs) {
+				t.Fatalf("decoded %d refs, want %d", len(got), len(refs))
+			}
+			for i := range refs {
+				if got[i] != refs[i] {
+					t.Errorf("ref %d: got %+v, want %+v", i, got[i], refs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRoundTripMasksHighBits pins the documented behavior for addresses
+// above the 62-bit file format: the writer stores them modulo 1<<62.
+func TestRoundTripMasksHighBits(t *testing.T) {
+	refs := []Ref{
+		{Addr: 1<<63 | 123, Kind: Load},
+		{Addr: 1<<62 | 456, Kind: Store},
+		{Addr: ^uint64(0), Kind: Instr},
+	}
+	got := roundTrip(t, refs)
+	want := []uint64{123, 456, AddrMask}
+	for i := range got {
+		if got[i].Addr != want[i] || got[i].Kind != refs[i].Kind {
+			t.Errorf("ref %d: got %+v, want addr %d kind %v", i, got[i], want[i], refs[i].Kind)
+		}
+	}
+}
+
+// TestDeltaSignedBoundaries pins the helper the boundary behavior rests
+// on: mod-2^62 differences map to [-2^61, 2^61).
+func TestDeltaSignedBoundaries(t *testing.T) {
+	cases := []struct {
+		d    uint64
+		want int64
+	}{
+		{0, 0},
+		{1, 1},
+		{1<<61 - 1, 1<<61 - 1}, // largest positive
+		{1 << 61, -(1 << 61)},  // boundary: most negative
+		{1<<61 + 1, -(1<<61 - 1)},
+		{AddrMask, -1},
+	}
+	for _, c := range cases {
+		if got := deltaSigned(c.d); got != c.want {
+			t.Errorf("deltaSigned(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestFileReaderTrailingGarbage checks a decode error after valid records
+// leaves the valid prefix intact (Collect's partial-result contract).
+func TestFileReaderTrailingGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []Ref{{Addr: 4}, {Addr: 8}, {Addr: 12}}
+	if _, err := WriteAll(w, NewSliceReader(refs)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0x03) // invalid kind
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(r, 0)
+	if err == nil || err == io.EOF {
+		t.Fatalf("Collect over garbage tail: err = %v", err)
+	}
+	if len(got) != len(refs) {
+		t.Errorf("Collect kept %d refs, want %d", len(got), len(refs))
+	}
+}

@@ -44,6 +44,12 @@ type ExtraStats struct {
 	VictimHits uint64
 }
 
+// Sub returns the difference e - earlier, measuring a steady-state window
+// alongside cache.Stats.Sub.
+func (e ExtraStats) Sub(earlier ExtraStats) ExtraStats {
+	return ExtraStats{VictimHits: e.VictimHits - earlier.VictimHits}
+}
+
 // New returns a direct-mapped cache of the given geometry with a
 // fully-associative victim buffer of `entries` lines (Jouppi evaluated
 // 1–15; 4 is typical).
