@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench experiments fuzz fmt vet
+.PHONY: all build test race cover bench experiments fuzz faults fmt vet
 
 # `race` is part of the default verify: the parallel simulation engine
 # (internal/engine) must stay race-clean, and CI enforces the same set.
@@ -35,3 +35,12 @@ fuzz:
 	go test -fuzz FuzzFSMInvariants -fuzztime 30s ./internal/core/
 	go test -fuzz FuzzFileReader -fuzztime 30s ./internal/trace/
 	go test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/trace/
+
+# Fault-injection suite: once with the fixed default seed (the set CI
+# covers), once with a random seed. The seed is printed so a randomized
+# failure replays exactly with `go test ./internal/faultinject -faultseed=N`.
+faults:
+	go test -count=1 ./internal/faultinject/
+	@seed=$$(od -An -N4 -tu4 /dev/urandom | tr -d ' '); \
+	echo "randomized run: -faultseed=$$seed"; \
+	go test -count=1 ./internal/faultinject/ -faultseed=$$seed

@@ -7,6 +7,11 @@
 //	dynex-experiments -refs 2000000    # longer traces (paper used 10M)
 //	dynex-experiments -run fig03,fig05 # a subset
 //	dynex-experiments -list            # list experiment ids
+//
+// With -checkpoint FILE, each finished experiment's rendered output is
+// journaled; an interrupted regeneration resumes without re-running the
+// experiments already in the journal, printing their journaled output
+// verbatim (headers say "checkpointed" instead of an elapsed time).
 package main
 
 import (
@@ -14,20 +19,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynex-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		refs     = flag.Int("refs", 1_000_000, "references collected per benchmark and stream kind")
-		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		runIDs   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jsonMode = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
 		seed     = flag.Int64("seed", 0, "workload seed offset (sensitivity runs; 0 = the canonical suite)")
 		workers  = flag.Int("workers", 0, "simulation workers per experiment (0 = all cores)")
+		ckptPath = flag.String("checkpoint", "", "journal finished experiments to this file and resume from it")
 	)
 	flag.Parse()
 
@@ -35,14 +50,14 @@ func main() {
 		for _, r := range experiments.Registry() {
 			fmt.Printf("%-10s %s\n", r.ID, r.Title)
 		}
-		return
+		return nil
 	}
 
 	var runners []experiments.Runner
-	if *run == "all" {
+	if *runIDs == "all" {
 		runners = experiments.Registry()
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			r, ok := experiments.Lookup(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "dynex-experiments: unknown experiment %q (try -list)\n", id)
@@ -52,29 +67,71 @@ func main() {
 		}
 	}
 
+	var journal *checkpoint.Journal
+	if *ckptPath != "" {
+		var err error
+		if journal, err = checkpoint.Open(*ckptPath); err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+	// fp identifies one experiment's output: the renderer (mode), the
+	// experiment, and the workload parameters that determine its numbers.
+	mode := "text"
+	if *jsonMode {
+		mode = "json"
+	}
+	fp := func(id string) string {
+		return checkpoint.Fingerprint("dynex-experiments/v1", mode, id,
+			strconv.Itoa(*refs), strconv.FormatInt(*seed, 10))
+	}
+
 	w := experiments.NewWorkloads(experiments.Config{Refs: *refs, SeedOffset: *seed, Workers: *workers})
 	if *jsonMode {
-		enc := json.NewEncoder(os.Stdout)
 		for _, r := range runners {
-			res := r.Run(w)
-			if err := enc.Encode(map[string]any{
+			if journal != nil {
+				if rec, ok := journal.Lookup(fp(r.ID)); ok {
+					fmt.Print(rec.Payload)
+					continue
+				}
+			}
+			var line strings.Builder
+			if err := json.NewEncoder(&line).Encode(map[string]any{
 				"id":     r.ID,
 				"title":  r.Title,
 				"refs":   *refs,
-				"result": res,
+				"result": r.Run(w),
 			}); err != nil {
-				fmt.Fprintln(os.Stderr, "dynex-experiments:", err)
-				os.Exit(1)
+				return err
+			}
+			fmt.Print(line.String())
+			if journal != nil {
+				if err := journal.Append(checkpoint.Record{Fingerprint: fp(r.ID), Label: r.ID, Payload: line.String()}); err != nil {
+					return fmt.Errorf("checkpoint: %w", err)
+				}
 			}
 		}
-		return
+		return nil
 	}
 	fmt.Printf("Cache Replacement with Dynamic Exclusion (McFarling, ISCA 1992) — reproduction\n")
 	fmt.Printf("workload: synthetic SPEC89 suite, %d refs/benchmark/kind\n\n", *refs)
 	for _, r := range runners {
+		if journal != nil {
+			if rec, ok := journal.Lookup(fp(r.ID)); ok {
+				fmt.Printf("== %s: %s  (checkpointed)\n\n", r.ID, r.Title)
+				fmt.Println(rec.Payload)
+				continue
+			}
+		}
 		start := time.Now()
-		res := r.Run(w)
+		res := fmt.Sprint(r.Run(w))
 		fmt.Printf("== %s: %s  (%.1fs)\n\n", r.ID, r.Title, time.Since(start).Seconds())
 		fmt.Println(res)
+		if journal != nil {
+			if err := journal.Append(checkpoint.Record{Fingerprint: fp(r.ID), Label: r.ID, Payload: res}); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+		}
 	}
+	return nil
 }

@@ -7,28 +7,42 @@
 // cores while the CSV comes out in deterministic grid order — byte-
 // identical to a serial run. Interrupt (Ctrl-C) cancels the sweep.
 //
+// The sweep is resilient: a failing cell (panic, I/O error, timeout) is
+// reported on stderr and withheld from the CSV while the rest of the grid
+// completes; the exit status is non-zero if any cell failed. -retries
+// re-runs transiently failing cells with backoff, -cell-timeout bounds
+// each cell, -max-failures aborts a sweep that is clearly doomed, and
+// -checkpoint journals finished cells so an interrupted sweep resumes
+// without re-simulating them — the resumed CSV is byte-identical to an
+// uninterrupted run's.
+//
 // Examples:
 //
 //	dynex-sweep -bench gcc -sizes 4096,8192,16384 -lines 4,16 -policies dm,de,opt
 //	dynex-sweep -suite -kind data -sizes 8192 -policies dm,de > data.csv
-//	dynex-sweep -suite -workers 4 -progress
+//	dynex-sweep -suite -workers 4 -progress -checkpoint sweep.jsonl -retries 2
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/cache"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/opt"
 	"repro/internal/spec"
 	"repro/internal/trace"
@@ -36,28 +50,38 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := sweep(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dynex-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// sweep is the whole command behind a testable seam: flags in args,
+// CSV to stdout, diagnostics to stderr, non-nil error for a non-zero exit.
+func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dynex-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "gcc", "benchmark to sweep")
-		suite     = flag.Bool("suite", false, "sweep every benchmark in the suite")
-		kind      = flag.String("kind", "instr", "instr, data, or mixed")
-		refs      = flag.Int("refs", 500_000, "references per benchmark")
-		sizes     = flag.String("sizes", "4096,8192,16384,32768", "comma-separated cache sizes in bytes")
-		lines     = flag.String("lines", "4", "comma-separated line sizes in bytes")
-		policies  = flag.String("policies", "dm,de,opt", "comma-separated: dm, de, de-hashed, opt, lru2, lru4, victim")
-		workers   = flag.Int("workers", 0, "simulation workers (0 = all cores)")
-		progress  = flag.Bool("progress", false, "report cell progress on stderr")
+		benchName   = fs.String("bench", "gcc", "benchmark to sweep")
+		suite       = fs.Bool("suite", false, "sweep every benchmark in the suite")
+		kind        = fs.String("kind", "instr", "instr, data, or mixed")
+		refs        = fs.Int("refs", 500_000, "references per benchmark")
+		sizes       = fs.String("sizes", "4096,8192,16384,32768", "comma-separated cache sizes in bytes")
+		lines       = fs.String("lines", "4", "comma-separated line sizes in bytes")
+		policies    = fs.String("policies", "dm,de,opt", "comma-separated: dm, de, de-hashed, opt, lru2, lru4, victim")
+		workers     = fs.Int("workers", 0, "simulation workers (0 = all cores)")
+		progress    = fs.Bool("progress", false, "report cell progress on stderr")
+		ckptPath    = fs.String("checkpoint", "", "journal finished cells to this file and resume from it")
+		maxFailures = fs.Int("max-failures", 0, "abort the sweep after this many cell failures (0 = finish regardless)")
+		retries     = fs.Int("retries", 0, "re-run transiently failing cells up to this many extra times")
+		cellTimeout = fs.Duration("cell-timeout", 0, "wall-clock budget per cell attempt (0 = none)")
+		inject      = fs.String("inject", "", "fault injection for testing: stream-fail=N or panic=SUBSTR")
 	)
-	flag.Parse()
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sizeList, err := parseUints(*sizes)
 	if err != nil {
@@ -68,11 +92,18 @@ func run() error {
 		return fmt.Errorf("bad -lines: %w", err)
 	}
 	polList := strings.Split(*policies, ",")
+	for i := range polList {
+		polList[i] = strings.TrimSpace(polList[i])
+	}
 
 	switch *kind {
 	case "instr", "data", "mixed":
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	injectStreamFail, injectPanic, err := parseInject(*inject)
+	if err != nil {
+		return err
 	}
 
 	var benches []spec.Benchmark
@@ -91,7 +122,12 @@ func run() error {
 	// run — validating every cell before any simulation starts. Each
 	// benchmark's stream materializes lazily, once, on whichever worker
 	// reaches it first; all of its cells share the slice.
+	//
+	// fps[i] is cells[i]'s checkpoint fingerprint. Streams are synthesized
+	// deterministically from (benchmark, kind, refs), so those three stand
+	// in for a stream digest.
 	var cells []engine.Cell
+	var fps []string
 	for _, b := range benches {
 		b := b
 		var (
@@ -111,6 +147,9 @@ func run() error {
 			})
 			return stream, nil
 		}
+		if injectStreamFail > 0 {
+			lazy = faultinject.FlakyStream(lazy, faultinject.NewBudget(injectStreamFail))
+		}
 		for _, size := range sizeList {
 			for _, line := range lineList {
 				geom := cache.DM(size, line)
@@ -118,49 +157,123 @@ func run() error {
 					return err
 				}
 				for _, pol := range polList {
-					cell, err := policyCell(strings.TrimSpace(pol), geom)
+					cell, err := policyCell(pol, geom)
 					if err != nil {
 						return err
 					}
 					cell.Label = fmt.Sprintf("%s/%d/%d/%s", b.Name, size, line, pol)
 					cell.Stream = lazy
+					if injectPanic != "" && strings.Contains(cell.Label, injectPanic) {
+						injectCellPanic(&cell)
+					}
 					cells = append(cells, cell)
+					fps = append(fps, checkpoint.Fingerprint(
+						"dynex-sweep/v1", b.Name, *kind, strconv.Itoa(*refs),
+						strconv.FormatUint(size, 10), strconv.FormatUint(line, 10), pol))
 				}
 			}
 		}
 	}
 
+	// Resume: cells already in the journal are prefilled and skipped; only
+	// the remainder is scheduled.
+	merged := make([]engine.Result, len(cells))
+	var journal *checkpoint.Journal
+	if *ckptPath != "" {
+		journal, err = checkpoint.Open(*ckptPath)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+	var pendIdx []int
+	var pendCells []engine.Cell
+	for i := range cells {
+		if journal != nil {
+			if rec, ok := journal.Lookup(fps[i]); ok {
+				merged[i] = engine.Result{Label: cells[i].Label, Stats: rec.Stats,
+					Attempts: rec.Attempts, Wall: time.Duration(rec.WallNS)}
+				continue
+			}
+		}
+		pendIdx = append(pendIdx, i)
+		pendCells = append(pendCells, cells[i])
+	}
+	if journal != nil && len(pendCells) < len(cells) {
+		fmt.Fprintf(stderr, "dynex-sweep: resuming: %d of %d cells journaled, %d to run\n",
+			len(cells)-len(pendCells), len(cells), len(pendCells))
+	}
+
 	var report func(done, total int)
 	if *progress {
 		report = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			fmt.Fprintf(stderr, "\r%d/%d cells", done, total)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
 		}
 	}
-	results, err := engine.Run(ctx, cells, engine.Options{Workers: *workers, Progress: report})
-	if err != nil {
-		return err
+
+	// The sweep context is cancelled early when -max-failures is hit.
+	sweepCtx, bail := context.WithCancel(ctx)
+	defer bail()
+	failures, bailed := 0, false
+	onResult := func(pi int, r engine.Result) {
+		// Serialized by the engine: no locking needed here.
+		if r.Err == nil {
+			if journal != nil {
+				rec := checkpoint.Record{Fingerprint: fps[pendIdx[pi]], Label: r.Label,
+					Stats: r.Stats, Attempts: r.Attempts, WallNS: int64(r.Wall)}
+				if err := journal.Append(rec); err != nil {
+					fmt.Fprintf(stderr, "dynex-sweep: checkpoint: %v\n", err)
+				}
+			}
+			return
+		}
+		if errors.Is(r.Err, context.Canceled) {
+			return // a cancellation casualty, not a failure of its own
+		}
+		failures++
+		if *maxFailures > 0 && failures >= *maxFailures && !bailed {
+			bailed = true
+			bail()
+		}
+	}
+
+	fresh, runErr := engine.Run(sweepCtx, pendCells, engine.Options{
+		Workers:     *workers,
+		Progress:    report,
+		OnResult:    onResult,
+		Retry:       engine.Retry{Attempts: *retries + 1},
+		CellTimeout: *cellTimeout,
+	})
+	for pi, i := range pendIdx {
+		merged[i] = fresh[pi]
+	}
+	if runErr != nil && !bailed {
+		return runErr // the user's interrupt, not a cell failure
 	}
 
 	// Emit in cell order: the engine guarantees results[i] describes
 	// cells[i] regardless of completion order, so the CSV is identical to
-	// the serial version's.
-	w := csv.NewWriter(os.Stdout)
+	// the serial version's; rows for failed cells are withheld and
+	// reported on stderr instead.
+	w := csv.NewWriter(stdout)
 	defer w.Flush()
 	if err := w.Write([]string{"benchmark", "kind", "size", "line", "policy", "miss_rate", "misses", "accesses"}); err != nil {
 		return err
 	}
+	var failed []engine.Result
 	i := 0
 	for _, b := range benches {
 		for _, size := range sizeList {
 			for _, line := range lineList {
 				for _, pol := range polList {
-					res := results[i]
+					res := merged[i]
 					i++
 					if res.Err != nil {
-						return fmt.Errorf("%s: %w", res.Label, res.Err)
+						failed = append(failed, res)
+						continue
 					}
 					rec := []string{
 						b.Name, *kind,
@@ -178,7 +291,65 @@ func run() error {
 			}
 		}
 	}
-	return nil
+	if len(failed) == 0 {
+		return nil
+	}
+	fmt.Fprintf(stderr, "dynex-sweep: %d of %d cells failed (rows withheld from CSV):\n", len(failed), len(cells))
+	for _, f := range failed {
+		if f.Attempts > 1 {
+			fmt.Fprintf(stderr, "  %s: %v (after %d attempts)\n", f.Label, f.Err, f.Attempts)
+		} else {
+			fmt.Fprintf(stderr, "  %s: %v\n", f.Label, f.Err)
+		}
+	}
+	if bailed {
+		return fmt.Errorf("aborted after %d cell failures (-max-failures=%d)", failures, *maxFailures)
+	}
+	return fmt.Errorf("%d of %d cells failed", len(failed), len(cells))
+}
+
+// parseInject decodes the -inject flag: "stream-fail=N" makes each
+// benchmark's stream fail transiently N times (cleared by retries);
+// "panic=SUBSTR" panics inside every cell whose label contains SUBSTR.
+func parseInject(s string) (streamFail int, panicSubstr string, err error) {
+	if s == "" {
+		return 0, "", nil
+	}
+	mode, arg, ok := strings.Cut(s, "=")
+	if ok {
+		switch mode {
+		case "stream-fail":
+			n, err := strconv.Atoi(arg)
+			if err == nil && n > 0 {
+				return n, "", nil
+			}
+		case "panic":
+			if arg != "" {
+				return 0, arg, nil
+			}
+		}
+	}
+	return 0, "", fmt.Errorf("bad -inject %q: want stream-fail=N or panic=SUBSTR", s)
+}
+
+// injectCellPanic rewires a cell so its simulation panics — the
+// worker-killing failure the engine must isolate.
+func injectCellPanic(cell *engine.Cell) {
+	switch {
+	case cell.Policy != nil:
+		inner := cell.Policy
+		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
+			sim, err := inner(g)
+			if err != nil {
+				return nil, err
+			}
+			return faultinject.NewPanicSim(sim, 1), nil
+		}
+	case cell.Direct != nil:
+		cell.Direct = func([]trace.Ref, cache.Geometry) (cache.Stats, error) {
+			panic("faultinject: injected panic in direct cell")
+		}
+	}
 }
 
 // policyCell returns the engine cell body for one (policy, geometry).

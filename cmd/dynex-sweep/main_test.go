@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSweep invokes the command seam and returns (stdout, stderr, err).
+func runSweep(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := sweep(context.Background(), args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+// TestSweepResumeByteIdentity is the headline checkpoint invariant: a
+// sweep that already journaled part of the grid (here: a subset of the
+// sizes) resumes, re-simulates only the missing cells, and emits CSV
+// byte-identical to an uninterrupted run.
+func TestSweepResumeByteIdentity(t *testing.T) {
+	base := []string{"-bench", "gcc", "-refs", "20000", "-lines", "4", "-policies", "dm,de"}
+	full := append([]string{"-sizes", "4096,8192"}, base...)
+
+	want, _, err := runSweep(t, full...)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+	// First run journals only the 4096 cells — a sweep killed mid-grid.
+	if _, _, err := runSweep(t, append([]string{"-sizes", "4096", "-checkpoint", ckpt}, base...)...); err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	got, stderr, err := runSweep(t, append(full, "-checkpoint", ckpt)...)
+	if err != nil {
+		t.Fatalf("resumed run: %v\nstderr: %s", err, stderr)
+	}
+	if !strings.Contains(stderr, "resuming: 2 of 4 cells journaled") {
+		t.Errorf("stderr = %q, want a resume banner for 2 of 4 cells", stderr)
+	}
+	if got != want {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n--- want\n%s--- got\n%s", want, got)
+	}
+
+	// A third run finds everything journaled and re-simulates nothing.
+	got2, stderr2, err := runSweep(t, append(full, "-checkpoint", ckpt)...)
+	if err != nil {
+		t.Fatalf("fully-journaled run: %v", err)
+	}
+	if !strings.Contains(stderr2, "resuming: 4 of 4 cells journaled, 0 to run") {
+		t.Errorf("stderr = %q, want a fully-journaled resume banner", stderr2)
+	}
+	if got2 != want {
+		t.Error("fully-journaled CSV differs from uninterrupted run")
+	}
+}
+
+// TestSweepInjectRetry checks -retries clears a transient stream fault
+// that sinks the sweep without it.
+func TestSweepInjectRetry(t *testing.T) {
+	args := []string{"-bench", "gcc", "-refs", "20000", "-sizes", "4096", "-policies", "dm,de", "-workers", "1"}
+
+	want, _, err := runSweep(t, args...)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	_, stderr, err := runSweep(t, append(args, "-inject", "stream-fail=1")...)
+	if err == nil {
+		t.Fatal("injected stream fault with no retries: want a non-zero exit")
+	}
+	if !strings.Contains(stderr, "1 of 2 cells failed") || !strings.Contains(stderr, "transient stream fault") {
+		t.Errorf("stderr = %q, want a one-cell failure summary naming the fault", stderr)
+	}
+
+	got, _, err := runSweep(t, append(args, "-inject", "stream-fail=1", "-retries", "2")...)
+	if err != nil {
+		t.Fatalf("retries did not clear the transient fault: %v", err)
+	}
+	if got != want {
+		t.Error("retried CSV differs from clean run")
+	}
+}
+
+// TestSweepInjectPanic checks a panicking cell is reported and withheld
+// while the rest of the grid still comes out.
+func TestSweepInjectPanic(t *testing.T) {
+	args := []string{"-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192", "-policies", "dm,de",
+		"-inject", "panic=/de"}
+	out, stderr, err := runSweep(t, args...)
+	if err == nil || !strings.Contains(err.Error(), "2 of 4 cells failed") {
+		t.Fatalf("err = %v, want a 2-of-4 failure", err)
+	}
+	if !strings.Contains(stderr, "panicked") {
+		t.Errorf("stderr = %q, want the panic reported", stderr)
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if len(rows) != 3 { // header + two dm rows
+		t.Fatalf("CSV has %d rows, want 3:\n%s", len(rows), out)
+	}
+	for _, row := range rows[1:] {
+		if !strings.Contains(row, ",dm,") {
+			t.Errorf("unexpected surviving row %q", row)
+		}
+	}
+}
+
+// TestSweepMaxFailures checks the early bail: the sweep stops scheduling
+// once the failure budget is hit and says so.
+func TestSweepMaxFailures(t *testing.T) {
+	args := []string{"-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192,16384,32768",
+		"-policies", "dm,de", "-workers", "1", "-inject", "panic=gcc", "-max-failures", "2"}
+	_, stderr, err := runSweep(t, args...)
+	if err == nil || !strings.Contains(err.Error(), "aborted after 2 cell failures") {
+		t.Fatalf("err = %v, want an abort after 2 failures", err)
+	}
+	if !strings.Contains(stderr, "cells failed") {
+		t.Errorf("stderr = %q, want a failure summary", stderr)
+	}
+}
+
+// TestSweepInjectParse rejects malformed -inject values.
+func TestSweepInjectParse(t *testing.T) {
+	for _, bad := range []string{"x", "stream-fail=", "stream-fail=zero", "panic=", "stream-fail"} {
+		if _, _, err := runSweep(t, "-refs", "100", "-inject", bad); err == nil ||
+			!strings.Contains(err.Error(), "bad -inject") {
+			t.Errorf("-inject %q: err = %v, want a parse error", bad, err)
+		}
+	}
+}

@@ -17,15 +17,20 @@
 //   - Bounded parallelism: at most Options.Workers cells are in flight.
 //   - Cancellation: when ctx is done, workers stop picking up new cells;
 //     cells never started carry ctx's error in Result.Err. Cells already
-//     running finish (simulations are finite and uninterruptible).
-//   - Isolation: a cell's error (stream or constructor failure) lands in
-//     its Result.Err without affecting other cells.
+//     running stop at the next batch boundary of the drive loop (Direct
+//     cells, which run the whole simulation themselves, finish).
+//   - Isolation: a cell's failure — a stream or constructor error, or a
+//     panic anywhere in Stream, Policy, Direct, or Access — lands in its
+//     Result.Err without affecting other cells (see resilience.go).
+//   - Resilience: errors classified transient are retried with jittered
+//     backoff (Options.Retry); Options.CellTimeout bounds each attempt.
 package engine
 
 import (
 	"context"
 	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,11 +73,15 @@ type Result struct {
 	Label string
 	// Stats is the simulation outcome (zero when Err is set).
 	Stats cache.Stats
-	// Wall is the cell's wall-clock simulation time, including stream
-	// materialization when this cell was the one to trigger it.
+	// Wall is the cell's wall-clock simulation time across all attempts,
+	// including backoff sleeps and stream materialization when this cell
+	// was the one to trigger it.
 	Wall time.Duration
-	// Err is the cell's failure, or the context error for cells skipped
-	// after cancellation.
+	// Attempts is the number of times the cell was run (1 without retry;
+	// 0 for cells skipped after cancellation).
+	Attempts int
+	// Err is the cell's failure (the last attempt's error), or the
+	// context error for cells skipped after cancellation.
 	Err error
 }
 
@@ -85,6 +94,19 @@ type Options struct {
 	// (cells done, cells total). Calls are serialized, so the callback
 	// needs no locking of its own; keep it cheap — workers block on it.
 	Progress func(done, total int)
+	// OnResult, when non-nil, is called with each finished cell's index
+	// and Result as soon as the cell completes — before Run returns, so
+	// callers can journal results incrementally (checkpointing) or abort
+	// on failure thresholds. Calls are serialized with Progress; cells
+	// skipped after cancellation are not reported.
+	OnResult func(i int, r Result)
+	// Retry re-runs cells whose errors are classified transient; see the
+	// Retry type. The zero value disables retry.
+	Retry Retry
+	// CellTimeout bounds each cell attempt; 0 means no bound. The check
+	// is cooperative (between simulation batches): a cell past its
+	// deadline yields ErrCellTimeout instead of hanging the sweep.
+	CellTimeout time.Duration
 }
 
 // errNoPolicy reports a cell with neither Policy nor Direct.
@@ -139,45 +161,126 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]Result, error) {
 			results[i] = Result{Label: cells[i].Label, Err: err}
 			return
 		}
-		results[i] = runCell(cells[i])
+		results[i] = runCell(ctx, cells[i], opts)
 		d := int(done.Add(1))
-		if opts.Progress != nil {
+		if opts.Progress != nil || opts.OnResult != nil {
 			progressMu.Lock()
-			opts.Progress(d, len(cells))
+			if opts.OnResult != nil {
+				opts.OnResult(i, results[i])
+			}
+			if opts.Progress != nil {
+				opts.Progress(d, len(cells))
+			}
 			progressMu.Unlock()
 		}
 	})
 	return results, ctx.Err()
 }
 
-// runCell executes one cell.
-func runCell(c Cell) Result {
+// runCell executes one cell, re-running transiently failing attempts per
+// opts.Retry.
+func runCell(ctx context.Context, c Cell, opts Options) Result {
 	start := time.Now()
-	res := Result{Label: c.Label}
+	var res Result
+	for attempt := 1; ; attempt++ {
+		res = attemptCell(ctx, c, opts.CellTimeout)
+		res.Attempts = attempt
+		if res.Err == nil || attempt >= opts.Retry.Attempts ||
+			ctx.Err() != nil || errors.Is(res.Err, context.Canceled) ||
+			errors.Is(res.Err, context.DeadlineExceeded) ||
+			!opts.Retry.classify(res.Err) {
+			break
+		}
+		if sleepCtx(ctx, opts.Retry.delay(attempt)) != nil {
+			break // cancelled during backoff; keep the attempt's own error
+		}
+	}
+	res.Wall = time.Since(start)
+	return res
+}
+
+// driveChunk is the number of references simulated between cooperative
+// cancellation/deadline checks of the drive loop: small enough that a
+// runaway cell is caught promptly, large enough that the check cost
+// vanishes against the simulation.
+const driveChunk = 1 << 15
+
+// stepErr is the cooperative check between simulation batches.
+func stepErr(ctx context.Context, deadline time.Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return ErrCellTimeout
+	}
+	return nil
+}
+
+// driveChunked drives sim over refs in driveChunk batches, checking ctx
+// and the deadline between batches.
+func driveChunked(ctx context.Context, sim cache.Simulator, refs []trace.Ref, deadline time.Time) error {
+	for len(refs) > 0 {
+		n := driveChunk
+		if n > len(refs) {
+			n = len(refs)
+		}
+		cache.RunRefs(sim, refs[:n])
+		refs = refs[n:]
+		if len(refs) > 0 {
+			if err := stepErr(ctx, deadline); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// attemptCell runs one attempt of a cell, recovering panics into
+// *CellPanicError and bounding the attempt by timeout (0 = none).
+func attemptCell(ctx context.Context, c Cell, timeout time.Duration) (res Result) {
+	res.Label = c.Label
+	defer func() {
+		if v := recover(); v != nil {
+			res.Stats = cache.Stats{}
+			res.Err = &CellPanicError{Label: c.Label, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	var refs []trace.Ref
 	if c.Stream != nil {
 		var err error
 		if refs, err = c.Stream(); err != nil {
 			res.Err = err
-			res.Wall = time.Since(start)
 			return res
 		}
+	}
+	if err := stepErr(ctx, deadline); err != nil {
+		res.Err = err
+		return res
 	}
 	switch {
 	case c.Policy != nil && c.Direct == nil:
 		sim, err := c.Policy(c.Geometry)
 		if err != nil {
 			res.Err = err
-			break
+			return res
 		}
-		cache.RunRefs(sim, refs)
+		if err := driveChunked(ctx, sim, refs, deadline); err != nil {
+			res.Err = err
+			return res
+		}
 		res.Stats = sim.Stats()
 	case c.Direct != nil && c.Policy == nil:
 		res.Stats, res.Err = c.Direct(refs, c.Geometry)
+		if res.Err != nil {
+			res.Stats = cache.Stats{}
+		}
 	default:
 		res.Err = errNoPolicy
 	}
-	res.Wall = time.Since(start)
 	return res
 }
 

@@ -1,0 +1,208 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// seqRefs returns n sequential one-byte references starting at base.
+func seqRefs(base uint64, n int) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: base + uint64(i)}
+	}
+	return refs
+}
+
+// faultSeed seeds the randomized fault runs. `make faults` runs the suite
+// once with the default and once with a random seed; the seed is logged so
+// a failure replays exactly.
+var faultSeed = flag.Int64("faultseed", 1, "seed for fault-injection schedules")
+
+func testData(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	return data
+}
+
+// TestReaderPassthrough checks the zero schedule is transparent.
+func TestReaderPassthrough(t *testing.T) {
+	data := testData(1000)
+	got, err := io.ReadAll(NewReader(bytes.NewReader(data), Schedule{}))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("passthrough corrupted data (err=%v, %d bytes)", err, len(got))
+	}
+}
+
+// TestReaderTruncation checks the stream ends cleanly at TruncateAt.
+func TestReaderTruncation(t *testing.T) {
+	data := testData(1000)
+	got, err := io.ReadAll(NewReader(bytes.NewReader(data), Schedule{Seed: *faultSeed, TruncateAt: 137}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[:137]) {
+		t.Errorf("truncated read = %d bytes, want the first 137", len(got))
+	}
+}
+
+// TestReaderShortReads checks short reads slow delivery but never corrupt
+// or lose bytes.
+func TestReaderShortReads(t *testing.T) {
+	data := testData(1000)
+	r := NewReader(bytes.NewReader(data), Schedule{Seed: *faultSeed, ShortReads: true})
+	var got []byte
+	buf := make([]byte, 64)
+	for {
+		n, err := r.Read(buf)
+		if n > 8 {
+			t.Fatalf("short read delivered %d bytes", n)
+		}
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("short reads corrupted the stream")
+	}
+}
+
+// TestReaderBitFlip checks exactly one byte differs, by one bit, at the
+// scheduled offset — deterministically for a fixed seed.
+func TestReaderBitFlip(t *testing.T) {
+	data := testData(1000)
+	const at = 421
+	read := func() []byte {
+		got, err := io.ReadAll(NewReader(bytes.NewReader(data), Schedule{Seed: *faultSeed, FlipBitAt: at, ShortReads: true}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	got := read()
+	if len(got) != len(data) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(data))
+	}
+	for i := range data {
+		if i == at {
+			diff := got[i] ^ data[i]
+			if diff == 0 || diff&(diff-1) != 0 {
+				t.Errorf("byte %d: diff %#x, want exactly one flipped bit", i, diff)
+			}
+			continue
+		}
+		if got[i] != data[i] {
+			t.Errorf("byte %d corrupted (only %d was scheduled)", i, at)
+		}
+	}
+	if again := read(); !bytes.Equal(got, again) {
+		t.Error("same seed produced different corruption")
+	}
+}
+
+// TestReaderTransientBudget checks FailAt faults drain a shared Budget:
+// re-created readers (the engine's retry) eventually get a clean read.
+func TestReaderTransientBudget(t *testing.T) {
+	data := testData(1000)
+	budget := NewBudget(2)
+	sched := Schedule{Seed: *faultSeed, FailAt: 100, Faults: budget}
+	for attempt := 1; ; attempt++ {
+		got, err := io.ReadAll(NewReader(bytes.NewReader(data), sched))
+		if err == nil {
+			if !bytes.Equal(got, data) {
+				t.Fatal("clean attempt corrupted data")
+			}
+			if attempt != 3 {
+				t.Errorf("succeeded on attempt %d, want 3 (budget of 2)", attempt)
+			}
+			return
+		}
+		var fe *Error
+		if !errors.As(err, &fe) || !fe.Transient() {
+			t.Fatalf("attempt %d: err = %v, want transient *Error", attempt, err)
+		}
+		if attempt > 5 {
+			t.Fatal("budget never drained")
+		}
+	}
+}
+
+// TestReaderFailAtDefaultBudget checks a nil Faults means fail-once:
+// the same reader delivers the full stream around a single fault.
+func TestReaderFailAtDefaultBudget(t *testing.T) {
+	data := testData(64)
+	r := NewReader(bytes.NewReader(data), Schedule{Seed: *faultSeed, FailAt: 10, ShortReads: true})
+	var got []byte
+	buf := make([]byte, 16)
+	faults := 0
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !IsInjected(err) {
+				t.Fatal(err)
+			}
+			faults++
+		}
+	}
+	if faults != 1 {
+		t.Errorf("saw %d faults, want exactly 1 (private one-shot budget)", faults)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("stream corrupted around the fault")
+	}
+}
+
+// TestErrorClassification checks the Transient marker.
+func TestErrorClassification(t *testing.T) {
+	if !(&Error{Op: "read"}).Transient() {
+		t.Error("default Error not transient")
+	}
+	if (&Error{Op: "read", Permanent: true}).Transient() {
+		t.Error("permanent Error claims transient")
+	}
+}
+
+// TestFlakyStream checks the stream wrapper fails budget-many times and
+// then delegates.
+func TestFlakyStream(t *testing.T) {
+	inner := func() ([]trace.Ref, error) { return seqRefs(7, 3), nil }
+	s := FlakyStream(inner, NewBudget(2))
+	for i := 0; i < 2; i++ {
+		if _, err := s(); !IsInjected(err) {
+			t.Fatalf("call %d: err = %v, want injected fault", i, err)
+		}
+	}
+	refs, err := s()
+	if err != nil || len(refs) != 3 {
+		t.Fatalf("after budget: %v, %v", refs, err)
+	}
+}
+
+// TestPanicSim checks the panic fires at the scheduled access.
+func TestPanicSim(t *testing.T) {
+	sim := NewPanicSim(cache.MustDirectMapped(cache.DM(64, 4)), 3)
+	sim.Access(0)
+	sim.Access(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("access 3 did not panic")
+		}
+	}()
+	sim.Access(8)
+}

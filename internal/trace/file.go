@@ -93,10 +93,30 @@ func (w *Writer) Count() uint64 { return w.count }
 // Flush writes any buffered records to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// FileReader decodes a dynex trace file as a Reader.
+// FileReader decodes a dynex trace file as a Reader. Decode errors are
+// annotated with the failing record's index and byte offset (e.g.
+// "trace: record 1042 at offset 0x3f1c: truncated varint") so corruption
+// in a multi-gigabyte trace is diagnosable; ErrBadMagic stays matchable
+// with errors.Is, and truncation errors wrap io.ErrUnexpectedEOF.
 type FileReader struct {
-	r    *bufio.Reader
+	r    countReader
 	last uint64
+	rec  uint64 // records decoded so far
+}
+
+// countReader tracks the absolute byte offset of the decode cursor so
+// errors can name where the input went bad.
+type countReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
 }
 
 // NewFileReader validates the header of r and returns a Reader over its
@@ -110,23 +130,27 @@ func NewFileReader(r io.Reader) (*FileReader, error) {
 	if magic != fileMagic {
 		return nil, ErrBadMagic
 	}
-	return &FileReader{r: br}, nil
+	return &FileReader{r: countReader{br: br, off: int64(len(magic))}}, nil
 }
 
 // Next decodes the next reference, or io.EOF at end of file.
 func (f *FileReader) Next() (Ref, error) {
-	rec, err := binary.ReadUvarint(f.r)
-	if err == io.EOF {
+	start := f.r.off
+	rec, err := binary.ReadUvarint(&f.r)
+	switch {
+	case err == io.EOF:
 		return Ref{}, io.EOF
-	}
-	if err != nil {
-		return Ref{}, fmt.Errorf("trace: corrupt record: %w", err)
+	case err == io.ErrUnexpectedEOF:
+		return Ref{}, fmt.Errorf("trace: record %d at offset %#x: truncated varint: %w", f.rec, start, err)
+	case err != nil:
+		return Ref{}, fmt.Errorf("trace: record %d at offset %#x: corrupt record: %w", f.rec, start, err)
 	}
 	kind := Kind(rec & 3)
 	if kind > Store {
-		return Ref{}, fmt.Errorf("trace: corrupt record: kind %d", kind)
+		return Ref{}, fmt.Errorf("trace: record %d at offset %#x: corrupt record: kind %d", f.rec, start, kind)
 	}
 	f.last = (f.last + uint64(unzigzag(rec>>2))) & AddrMask
+	f.rec++
 	return Ref{Addr: f.last, Kind: kind}, nil
 }
 

@@ -2,9 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -224,6 +226,87 @@ func TestFileRoundTrip(t *testing.T) {
 	if err != nil || !reflect.DeepEqual(got, in) {
 		t.Errorf("round trip = %v, %v, want %v", got, err, in)
 	}
+}
+
+// TestFileErrorAnnotation checks decode failures name the record index
+// and byte offset — the information needed to diagnose a corrupt or
+// truncated trace file — while staying matchable with errors.Is.
+func TestFileErrorAnnotation(t *testing.T) {
+	// A tiny first record, then a multi-byte varint we can cut in half.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []Ref{{Addr: 0, Kind: Instr}, {Addr: 1 << 30, Kind: Instr}} {
+		if err := w.Write(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	t.Run("truncated varint", func(t *testing.T) {
+		fr, err := NewFileReader(bytes.NewReader(data[:len(data)-1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fr.Next(); err != nil {
+			t.Fatalf("record 0 should decode: %v", err)
+		}
+		_, err = fr.Next()
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want wrapped io.ErrUnexpectedEOF", err)
+		}
+		want := "trace: record 1 at offset 0x9: truncated varint"
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("err = %q, want it to contain %q", err, want)
+		}
+	})
+
+	t.Run("bad kind", func(t *testing.T) {
+		// A single record whose 2-bit kind field is 3 (out of range).
+		bad := append([]byte("DYNEXTR1"), 0x03)
+		fr, err := NewFileReader(bytes.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = fr.Next()
+		want := "trace: record 0 at offset 0x8: corrupt record: kind 3"
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("err = %q, want it to contain %q", err, want)
+		}
+	})
+
+	t.Run("varint overflow", func(t *testing.T) {
+		// 11 continuation bytes overflow a 64-bit varint.
+		bad := append([]byte("DYNEXTR1"), bytes.Repeat([]byte{0xff}, 11)...)
+		fr, err := NewFileReader(bytes.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = fr.Next()
+		want := "trace: record 0 at offset 0x8: corrupt record:"
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("err = %q, want it to contain %q", err, want)
+		}
+	})
+
+	t.Run("clean EOF is not annotated", func(t *testing.T) {
+		fr, err := NewFileReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs, err := Collect(fr, 0)
+		if err != nil || len(refs) != 2 {
+			t.Fatalf("Collect = %d refs, %v", len(refs), err)
+		}
+		if _, err := fr.Next(); err != io.EOF {
+			t.Errorf("at end: err = %v, want bare io.EOF", err)
+		}
+	})
 }
 
 func TestFileBadMagic(t *testing.T) {
