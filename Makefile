@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench experiments fuzz faults fmt vet
+.PHONY: all build test race cover bench bench-report experiments fuzz faults fmt vet
 
 # `race` is part of the default verify: the parallel simulation engine
 # (internal/engine) must stay race-clean, and CI enforces the same set.
@@ -26,6 +26,13 @@ cover:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Machine-readable run telemetry for the committed BENCH_3.json: a small
+# standard sweep with -report (see DESIGN.md §8). CI's bench-smoke job
+# runs the same target and asserts the JSON parses.
+bench-report:
+	go run ./cmd/dynex-sweep -bench gcc -refs 200000 -sizes 8192,16384,32768 \
+		-policies dm,de -report BENCH_3.json > /dev/null
 
 # Regenerate every paper figure (writes experiments_1m.txt).
 experiments:

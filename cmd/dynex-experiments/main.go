@@ -12,6 +12,14 @@
 // journaled; an interrupted regeneration resumes without re-running the
 // experiments already in the journal, printing their journaled output
 // verbatim (headers say "checkpointed" instead of an elapsed time).
+//
+// The run is instrumented (DESIGN.md §8): -report writes a RunReport
+// JSON covering every simulation cell the experiments scheduled,
+// -trace-events logs structured JSONL run events (one annotation per
+// experiment plus the engine's cell events; summarize with
+// `dynex-sweep -trace-summary`), and -debug-addr serves expvar counters
+// and pprof profiles so a multi-hour regeneration can be profiled
+// mid-flight. Telemetry never changes stdout.
 package main
 
 import (
@@ -24,7 +32,9 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -36,13 +46,16 @@ func main() {
 
 func run() error {
 	var (
-		refs     = flag.Int("refs", 1_000_000, "references collected per benchmark and stream kind")
-		runIDs   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		jsonMode = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
-		seed     = flag.Int64("seed", 0, "workload seed offset (sensitivity runs; 0 = the canonical suite)")
-		workers  = flag.Int("workers", 0, "simulation workers per experiment (0 = all cores)")
-		ckptPath = flag.String("checkpoint", "", "journal finished experiments to this file and resume from it")
+		refs       = flag.Int("refs", 1_000_000, "references collected per benchmark and stream kind")
+		runIDs     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jsonMode   = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
+		seed       = flag.Int64("seed", 0, "workload seed offset (sensitivity runs; 0 = the canonical suite)")
+		workers    = flag.Int("workers", 0, "simulation workers per experiment (0 = all cores)")
+		ckptPath   = flag.String("checkpoint", "", "journal finished experiments to this file and resume from it")
+		reportPath = flag.String("report", "", "write a machine-readable RunReport JSON to this file")
+		traceFile  = flag.String("trace-events", "", "write a structured JSONL event log of the run to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060) during the run")
 	)
 	flag.Parse()
 
@@ -67,6 +80,45 @@ func run() error {
 		}
 	}
 
+	// Telemetry: the collector observes every simulation cell the
+	// experiments schedule (threaded through experiments.Config) plus
+	// per-experiment annotations and checkpoint activity.
+	var col *telemetry.Collector
+	var engCol engine.Collector
+	if *reportPath != "" || *traceFile != "" || *debugAddr != "" {
+		col = telemetry.NewCollector(0)
+		engCol = col
+		if *traceFile != "" {
+			tw, err := telemetry.OpenTrace(*traceFile)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if err := tw.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "dynex-experiments: trace-events:", err)
+				}
+			}()
+			col.SetTrace(tw)
+		}
+		col.Start("dynex-experiments " + strings.Join(os.Args[1:], " "))
+		defer func() {
+			col.Finish()
+			if *reportPath != "" {
+				if err := col.WriteReport(*reportPath, "dynex-experiments "+strings.Join(os.Args[1:], " ")); err != nil {
+					fmt.Fprintln(os.Stderr, "dynex-experiments: report:", err)
+				}
+			}
+		}()
+		if *debugAddr != "" {
+			col.Publish("dynex.experiments")
+			addr, err := telemetry.ServeDebug(*debugAddr)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "dynex-experiments: debug server on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
+		}
+	}
+
 	var journal *checkpoint.Journal
 	if *ckptPath != "" {
 		var err error
@@ -86,12 +138,23 @@ func run() error {
 			strconv.Itoa(*refs), strconv.FormatInt(*seed, 10))
 	}
 
-	w := experiments.NewWorkloads(experiments.Config{Refs: *refs, SeedOffset: *seed, Workers: *workers})
+	w := experiments.NewWorkloads(experiments.Config{Refs: *refs, SeedOffset: *seed, Workers: *workers, Collector: engCol})
+	// runExperiment wraps one experiment with telemetry annotations.
+	runExperiment := func(r experiments.Runner) fmt.Stringer {
+		if col != nil {
+			col.Annotate("experiment_start", r.ID)
+			defer col.Annotate("experiment_finish", r.ID)
+		}
+		return r.Run(w)
+	}
 	if *jsonMode {
 		for _, r := range runners {
 			if journal != nil {
 				if rec, ok := journal.Lookup(fp(r.ID)); ok {
 					fmt.Print(rec.Payload)
+					if col != nil {
+						col.CheckpointHit(r.ID, 0)
+					}
 					continue
 				}
 			}
@@ -100,7 +163,7 @@ func run() error {
 				"id":     r.ID,
 				"title":  r.Title,
 				"refs":   *refs,
-				"result": r.Run(w),
+				"result": runExperiment(r),
 			}); err != nil {
 				return err
 			}
@@ -108,6 +171,9 @@ func run() error {
 			if journal != nil {
 				if err := journal.Append(checkpoint.Record{Fingerprint: fp(r.ID), Label: r.ID, Payload: line.String()}); err != nil {
 					return fmt.Errorf("checkpoint: %w", err)
+				}
+				if col != nil {
+					col.CheckpointWrite(r.ID)
 				}
 			}
 		}
@@ -120,16 +186,22 @@ func run() error {
 			if rec, ok := journal.Lookup(fp(r.ID)); ok {
 				fmt.Printf("== %s: %s  (checkpointed)\n\n", r.ID, r.Title)
 				fmt.Println(rec.Payload)
+				if col != nil {
+					col.CheckpointHit(r.ID, 0)
+				}
 				continue
 			}
 		}
 		start := time.Now()
-		res := fmt.Sprint(r.Run(w))
+		res := fmt.Sprint(runExperiment(r))
 		fmt.Printf("== %s: %s  (%.1fs)\n\n", r.ID, r.Title, time.Since(start).Seconds())
 		fmt.Println(res)
 		if journal != nil {
 			if err := journal.Append(checkpoint.Record{Fingerprint: fp(r.ID), Label: r.ID, Payload: res}); err != nil {
 				return fmt.Errorf("checkpoint: %w", err)
+			}
+			if col != nil {
+				col.CheckpointWrite(r.ID)
 			}
 		}
 	}

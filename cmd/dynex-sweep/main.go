@@ -16,11 +16,21 @@
 // without re-simulating them — the resumed CSV is byte-identical to an
 // uninterrupted run's.
 //
+// The sweep is instrumented (DESIGN.md §8): -report writes a machine-
+// readable RunReport (throughput, percentile cell latencies, retry/panic/
+// timeout counts, checkpoint savings), -trace-events logs structured
+// JSONL run events replayable with -trace-summary, -progress shows rate
+// and ETA, and -debug-addr serves expvar counters and pprof profiles for
+// watching a long sweep mid-flight. Telemetry never touches stdout: the
+// CSV is byte-identical with and without it.
+//
 // Examples:
 //
 //	dynex-sweep -bench gcc -sizes 4096,8192,16384 -lines 4,16 -policies dm,de,opt
 //	dynex-sweep -suite -kind data -sizes 8192 -policies dm,de > data.csv
 //	dynex-sweep -suite -workers 4 -progress -checkpoint sweep.jsonl -retries 2
+//	dynex-sweep -suite -report run.json -trace-events run.trace -debug-addr :6060
+//	dynex-sweep -trace-summary run.trace
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/opt"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/victim"
 )
@@ -78,9 +89,28 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		retries     = fs.Int("retries", 0, "re-run transiently failing cells up to this many extra times")
 		cellTimeout = fs.Duration("cell-timeout", 0, "wall-clock budget per cell attempt (0 = none)")
 		inject      = fs.String("inject", "", "fault injection for testing: stream-fail=N or panic=SUBSTR")
+		reportPath  = fs.String("report", "", "write a machine-readable RunReport JSON to this file")
+		traceFile   = fs.String("trace-events", "", "write a structured JSONL event log of the run to this file")
+		traceSum    = fs.String("trace-summary", "", "summarize an event log written by -trace-events and exit")
+		debugAddr   = fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060) during the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// -trace-summary is a replay mode: no simulation, just the timeline.
+	if *traceSum != "" {
+		f, err := os.Open(*traceSum)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err := telemetry.ReadEvents(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, telemetry.SummarizeTrace(events, 10))
+		return nil
 	}
 
 	sizeList, err := parseUints(*sizes)
@@ -175,6 +205,44 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Telemetry: one collector feeds the progress meter, the -report
+	// aggregation, the -trace-events log, and the -debug-addr expvar
+	// publication. All of it is observational — stdout CSV is identical
+	// with and without these flags.
+	var col *telemetry.Collector
+	if *progress || *reportPath != "" || *traceFile != "" || *debugAddr != "" {
+		col = telemetry.NewCollector(len(cells))
+		if *traceFile != "" {
+			tw, err := telemetry.OpenTrace(*traceFile)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if err := tw.Close(); err != nil {
+					fmt.Fprintf(stderr, "dynex-sweep: trace-events: %v\n", err)
+				}
+			}()
+			col.SetTrace(tw)
+		}
+		col.Start("dynex-sweep " + strings.Join(args, " "))
+		defer func() {
+			col.Finish()
+			if *reportPath != "" {
+				if err := col.WriteReport(*reportPath, "dynex-sweep "+strings.Join(args, " ")); err != nil {
+					fmt.Fprintf(stderr, "dynex-sweep: report: %v\n", err)
+				}
+			}
+		}()
+		if *debugAddr != "" {
+			col.Publish("dynex.sweep")
+			addr, err := telemetry.ServeDebug(*debugAddr)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "dynex-sweep: debug server on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
+		}
+	}
+
 	// Resume: cells already in the journal are prefilled and skipped; only
 	// the remainder is scheduled.
 	merged := make([]engine.Result, len(cells))
@@ -193,11 +261,20 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			if rec, ok := journal.Lookup(fps[i]); ok {
 				merged[i] = engine.Result{Label: cells[i].Label, Stats: rec.Stats,
 					Attempts: rec.Attempts, Wall: time.Duration(rec.WallNS)}
+				if col != nil {
+					col.CheckpointHit(cells[i].Label, time.Duration(rec.WallNS))
+				}
 				continue
+			}
+			if col != nil {
+				col.CheckpointMiss()
 			}
 		}
 		pendIdx = append(pendIdx, i)
 		pendCells = append(pendCells, cells[i])
+	}
+	if col != nil {
+		col.SetTotal(len(pendCells))
 	}
 	if journal != nil && len(pendCells) < len(cells) {
 		fmt.Fprintf(stderr, "dynex-sweep: resuming: %d of %d cells journaled, %d to run\n",
@@ -207,6 +284,11 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var report func(done, total int)
 	if *progress {
 		report = func(done, total int) {
+			if eta := col.ETA(done, total); eta > 0 {
+				rate := col.Snapshot().CellsPerSec
+				fmt.Fprintf(stderr, "\r%d/%d cells (%.1f cells/s, ETA %s)", done, total, rate, eta.Round(time.Second))
+				return
+			}
 			fmt.Fprintf(stderr, "\r%d/%d cells", done, total)
 			if done == total {
 				fmt.Fprintln(stderr)
@@ -226,6 +308,8 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 					Stats: r.Stats, Attempts: r.Attempts, WallNS: int64(r.Wall)}
 				if err := journal.Append(rec); err != nil {
 					fmt.Fprintf(stderr, "dynex-sweep: checkpoint: %v\n", err)
+				} else if col != nil {
+					col.CheckpointWrite(r.Label)
 				}
 			}
 			return
@@ -240,12 +324,18 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// A typed-nil *Collector must not become a non-nil interface.
+	var engCol engine.Collector
+	if col != nil {
+		engCol = col
+	}
 	fresh, runErr := engine.Run(sweepCtx, pendCells, engine.Options{
 		Workers:     *workers,
 		Progress:    report,
 		OnResult:    onResult,
 		Retry:       engine.Retry{Attempts: *retries + 1},
 		CellTimeout: *cellTimeout,
+		Collector:   engCol,
 	})
 	for pi, i := range pendIdx {
 		merged[i] = fresh[pi]

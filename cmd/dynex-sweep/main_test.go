@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // runSweep invokes the command seam and returns (stdout, stderr, err).
@@ -119,6 +123,130 @@ func TestSweepMaxFailures(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "cells failed") {
 		t.Errorf("stderr = %q, want a failure summary", stderr)
+	}
+}
+
+// TestSweepTelemetryPassive is the observability ground rule: turning on
+// -report and -trace-events changes nothing about the science — the CSV
+// stays byte-identical to an uninstrumented run.
+func TestSweepTelemetryPassive(t *testing.T) {
+	args := []string{"-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192", "-policies", "dm,de"}
+
+	want, _, err := runSweep(t, args...)
+	if err != nil {
+		t.Fatalf("bare run: %v", err)
+	}
+
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	events := filepath.Join(dir, "events.jsonl")
+	got, _, err := runSweep(t, append(args, "-report", report, "-trace-events", events)...)
+	if err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if got != want {
+		t.Errorf("CSV changed under telemetry:\n--- want\n%s--- got\n%s", want, got)
+	}
+
+	// The report is valid RunReport JSON with coherent aggregates.
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep telemetry.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Schema != telemetry.ReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, telemetry.ReportSchema)
+	}
+	if rep.Cells.Finished != 4 || rep.Cells.OK != 4 || rep.Cells.Failed != 0 {
+		t.Errorf("cells = %+v, want 4 finished, 4 ok", rep.Cells)
+	}
+	if rep.Refs != 4*20000 {
+		t.Errorf("refs = %d, want %d", rep.Refs, 4*20000)
+	}
+	if rep.RefsPerSec <= 0 {
+		t.Errorf("refs_per_sec = %v, want > 0", rep.RefsPerSec)
+	}
+	q := rep.CellWallMS
+	if q.P50 < 0 || q.P50 > q.P90 || q.P90 > q.P99 || q.P99 > q.Max {
+		t.Errorf("cell wall percentiles out of order: %+v", q)
+	}
+	if len(rep.Slowest) == 0 {
+		t.Error("report has no slowest-cells table")
+	}
+
+	// The event trace replays: -trace-summary reproduces the timeline.
+	sum, _, err := runSweep(t, "-trace-summary", events)
+	if err != nil {
+		t.Fatalf("-trace-summary: %v", err)
+	}
+	for _, want := range []string{"timeline:", "cells: 4 finished (4 ok, 0 failed)", "run_summary", "cell_finish"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("trace summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestSweepReportResume checks a resumed run's report credits the
+// journal: checkpoint hits for replayed cells, with nonzero saved time.
+func TestSweepReportResume(t *testing.T) {
+	base := []string{"-bench", "gcc", "-refs", "20000", "-lines", "4", "-policies", "dm,de"}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sweep.jsonl")
+	report := filepath.Join(dir, "report.json")
+
+	if _, _, err := runSweep(t, append([]string{"-sizes", "4096", "-checkpoint", ckpt}, base...)...); err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	if _, _, err := runSweep(t, append([]string{"-sizes", "4096,8192", "-checkpoint", ckpt, "-report", report}, base...)...); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep telemetry.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checkpoint.Hits != 2 || rep.Checkpoint.Misses != 2 {
+		t.Errorf("checkpoint = %+v, want 2 hits and 2 misses", rep.Checkpoint)
+	}
+	if rep.Checkpoint.SavedMS <= 0 {
+		t.Errorf("saved_ms = %v, want > 0 (journaled wall time)", rep.Checkpoint.SavedMS)
+	}
+	if rep.Checkpoint.Writes != 2 {
+		t.Errorf("writes = %d, want 2 (the freshly simulated cells)", rep.Checkpoint.Writes)
+	}
+}
+
+// TestSweepProgressRate checks -progress now reports throughput and ETA,
+// not just a counter.
+func TestSweepProgressRate(t *testing.T) {
+	_, stderr, err := runSweep(t, "-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192",
+		"-policies", "dm,de", "-progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "4/4 cells") {
+		t.Errorf("stderr = %q, want the final 4/4 progress line", stderr)
+	}
+	if !strings.Contains(stderr, "cells/s") {
+		t.Errorf("stderr = %q, want a cells/s rate in the progress line", stderr)
+	}
+	if !strings.Contains(stderr, "ETA") {
+		t.Errorf("stderr = %q, want an ETA in the progress line", stderr)
+	}
+}
+
+// TestSweepTraceSummaryErrors checks the replay mode fails cleanly on a
+// missing file.
+func TestSweepTraceSummaryErrors(t *testing.T) {
+	if _, _, err := runSweep(t, "-trace-summary", filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Error("missing trace file: want an error")
 	}
 }
 

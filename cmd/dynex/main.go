@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/patterns"
 	"repro/internal/spec"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/victim"
 )
@@ -35,20 +38,21 @@ func main() {
 
 func run() error {
 	var (
-		benchName = flag.String("bench", "gcc", "benchmark name from the suite (see -benches)")
-		pattern   = flag.String("pattern", "", "run a §3 pattern instead of a benchmark: between-loops, loop-levels, within-loop, three-way")
-		traceFile = flag.String("trace", "", "replay a dynex trace file instead of a benchmark (see cmd/tracegen)")
-		kind      = flag.String("kind", "instr", "reference stream: instr, data, or mixed")
-		refs      = flag.Int("refs", 1_000_000, "number of references to simulate")
-		warmup    = flag.Int("warmup", 0, "references excluded from the reported stats (single-level policies; must leave a nonempty window)")
-		size      = flag.Uint64("size", 32<<10, "cache size in bytes")
-		line      = flag.Uint64("line", 4, "line size in bytes")
-		policy    = flag.String("policy", "de", "dm, de, de-hashed, opt, lru2, lru4, fifo2, victim, stream")
-		lastLine  = flag.Bool("lastline", false, "enable the last-line buffer (recommended for line > 4)")
-		sticky    = flag.Int("sticky", 1, "sticky levels (1 = the paper's FSM)")
-		l2        = flag.Uint64("l2", 0, "add a second level of this size (bytes); 0 = single level")
-		strategy  = flag.String("strategy", "assume-hit", "hit-last storage with -l2: assume-hit, assume-miss, hashed")
-		benches   = flag.Bool("benches", false, "list benchmarks and exit")
+		benchName  = flag.String("bench", "gcc", "benchmark name from the suite (see -benches)")
+		pattern    = flag.String("pattern", "", "run a §3 pattern instead of a benchmark: between-loops, loop-levels, within-loop, three-way")
+		traceFile  = flag.String("trace", "", "replay a dynex trace file instead of a benchmark (see cmd/tracegen)")
+		kind       = flag.String("kind", "instr", "reference stream: instr, data, or mixed")
+		refs       = flag.Int("refs", 1_000_000, "number of references to simulate")
+		warmup     = flag.Int("warmup", 0, "references excluded from the reported stats (single-level policies; must leave a nonempty window)")
+		size       = flag.Uint64("size", 32<<10, "cache size in bytes")
+		line       = flag.Uint64("line", 4, "line size in bytes")
+		policy     = flag.String("policy", "de", "dm, de, de-hashed, opt, lru2, lru4, fifo2, victim, stream")
+		lastLine   = flag.Bool("lastline", false, "enable the last-line buffer (recommended for line > 4)")
+		sticky     = flag.Int("sticky", 1, "sticky levels (1 = the paper's FSM)")
+		l2         = flag.Uint64("l2", 0, "add a second level of this size (bytes); 0 = single level")
+		strategy   = flag.String("strategy", "assume-hit", "hit-last storage with -l2: assume-hit, assume-miss, hashed")
+		benches    = flag.Bool("benches", false, "list benchmarks and exit")
+		reportPath = flag.String("report", "", "write a machine-readable RunReport JSON (simulation wall time, refs/sec) to this file")
 	)
 	flag.Parse()
 
@@ -66,11 +70,29 @@ func run() error {
 	geom := cache.DM(*size, *line)
 	fmt.Printf("workload: %s (%d refs)\ncache:    %s, policy %s\n\n", desc, len(streamRefs), geom, *policy)
 
+	// -report: one telemetry cell covering the whole simulation, so the
+	// single-run CLI shares the batch drivers' RunReport format.
+	var col *telemetry.Collector
+	if *reportPath != "" {
+		col = telemetry.NewCollector(1)
+	}
+	simStart := time.Now()
+	writeReport := func() error {
+		if col == nil {
+			return nil
+		}
+		col.RecordCell(desc+"/"+*policy, time.Since(simStart), uint64(len(streamRefs)), nil)
+		return col.WriteReport(*reportPath, "dynex "+strings.Join(os.Args[1:], " "))
+	}
+
 	if *l2 != 0 {
 		if *warmup != 0 {
 			return fmt.Errorf("-warmup is not supported with -l2 (hierarchy counters cover the full stream)")
 		}
-		return runHierarchy(streamRefs, geom, *l2, *strategy, *lastLine, *sticky)
+		if err := runHierarchy(streamRefs, geom, *l2, *strategy, *lastLine, *sticky); err != nil {
+			return err
+		}
+		return writeReport()
 	}
 	if err := validateWarmup(*warmup, len(streamRefs)); err != nil {
 		return err
@@ -144,7 +166,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
-	return nil
+	return writeReport()
 }
 
 // validateWarmup rejects warmup windows that leave nothing to measure. A

@@ -3,6 +3,10 @@
 // expensive workloads are generated once and replayed many times; with
 // -info it summarizes an existing trace instead.
 //
+// On success a one-line summary (references written, address range,
+// bytes) goes to stderr, so generated workloads are self-describing in
+// build and CI logs while stdout stays clean for pipelines.
+//
 // Examples:
 //
 //	tracegen -bench gcc -n 10000000 -o gcc.dynex
@@ -21,28 +25,60 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// addrRange tracks the address extent and count of the refs flowing
+// through a trace.Reader.
+type addrRange struct {
+	r        trace.Reader
+	min, max uint64
+	n        uint64
+}
+
+func trackRange(r trace.Reader) *addrRange {
+	return &addrRange{r: r, min: ^uint64(0)}
+}
+
+func (t *addrRange) Next() (trace.Ref, error) {
+	ref, err := t.r.Next()
+	if err == nil {
+		t.n++
+		if ref.Addr < t.min {
+			t.min = ref.Addr
+		}
+		if ref.Addr > t.max {
+			t.max = ref.Addr
+		}
+	}
+	return ref, err
+}
+
+// run is the whole command behind a testable seam: flags in args,
+// pipeline output (-info) to stdout, the generation summary to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "gcc", "benchmark name from the suite")
-		kind      = flag.String("kind", "instr", "instr, data, or mixed")
-		n         = flag.Int("n", 1_000_000, "number of references")
-		out       = flag.String("o", "", "output (or, with -info, input) trace file; required")
-		format    = flag.String("format", "dynex", "output format: dynex (compact binary) or din (Dinero text)")
-		info      = flag.Bool("info", false, "summarize an existing trace file instead of generating")
+		benchName = fs.String("bench", "gcc", "benchmark name from the suite")
+		kind      = fs.String("kind", "instr", "instr, data, or mixed")
+		n         = fs.Int("n", 1_000_000, "number of references")
+		out       = fs.String("o", "", "output (or, with -info, input) trace file; required")
+		format    = fs.String("format", "dynex", "output format: dynex (compact binary) or din (Dinero text)")
+		info      = fs.Bool("info", false, "summarize an existing trace file instead of generating")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *out == "" {
 		return fmt.Errorf("-o is required")
 	}
 
 	if *info {
-		return summarize(*out)
+		return summarize(*out, stdout)
 	}
 
 	b, ok := spec.ByName(*benchName)
@@ -60,6 +96,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
+	tracked := trackRange(trace.Limit(r, *n))
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -73,12 +110,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		count, err = trace.WriteAll(w, trace.Limit(r, *n))
+		count, err = trace.WriteAll(w, tracked)
 		if err != nil {
 			return err
 		}
 	case "din":
-		count, err = trace.WriteDin(f, trace.Limit(r, *n))
+		count, err = trace.WriteDin(f, tracked)
 		if err != nil {
 			return err
 		}
@@ -92,13 +129,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d references (%s %s) to %s (%d bytes, %.2f B/ref)\n",
-		count, *benchName, *kind, *out, st.Size(), float64(st.Size())/float64(count))
+	bytesPerRef := 0.0
+	if count > 0 {
+		bytesPerRef = float64(st.Size()) / float64(count)
+	}
+	fmt.Fprintf(stderr, "tracegen: wrote %d references (%s %s) to %s: addresses %#x..%#x, %d bytes (%.2f B/ref)\n",
+		count, *benchName, *kind, *out, tracked.min, tracked.max, st.Size(), bytesPerRef)
 	return nil
 }
 
 // summarize prints reference counts and the address ranges of a trace.
-func summarize(path string) error {
+func summarize(path string, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -109,29 +150,21 @@ func summarize(path string) error {
 		return err
 	}
 	var byKind [3]uint64
-	var minA, maxA uint64 = ^uint64(0), 0
-	total := uint64(0)
+	tracked := trackRange(r)
 	for {
-		ref, err := r.Next()
+		ref, err := tracked.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		total++
 		byKind[ref.Kind]++
-		if ref.Addr < minA {
-			minA = ref.Addr
-		}
-		if ref.Addr > maxA {
-			maxA = ref.Addr
-		}
 	}
-	fmt.Printf("%s: %d references (I=%d L=%d S=%d)\n",
-		path, total, byKind[trace.Instr], byKind[trace.Load], byKind[trace.Store])
-	if total > 0 {
-		fmt.Printf("address range: %#x .. %#x\n", minA, maxA)
+	fmt.Fprintf(stdout, "%s: %d references (I=%d L=%d S=%d)\n",
+		path, tracked.n, byKind[trace.Instr], byKind[trace.Load], byKind[trace.Store])
+	if tracked.n > 0 {
+		fmt.Fprintf(stdout, "address range: %#x .. %#x\n", tracked.min, tracked.max)
 	}
 	return nil
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runGen invokes the command seam and returns (stdout, stderr, err).
+func runGen(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+// TestGenerateSummaryOnStderr checks the generation path is
+// self-describing: a one-line summary (refs, address range, bytes) on
+// stderr, nothing on stdout.
+func TestGenerateSummaryOnStderr(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gcc.dynex")
+	out, stderr, err := runGen(t, "-bench", "gcc", "-n", "5000", "-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "" {
+		t.Errorf("stdout = %q, want empty (summary belongs on stderr)", out)
+	}
+	if !strings.Contains(stderr, "wrote 5000 references (gcc instr)") {
+		t.Errorf("stderr = %q, want the reference count and workload", stderr)
+	}
+	if !regexp.MustCompile(`addresses 0x[0-9a-f]+\.\.0x[0-9a-f]+`).MatchString(stderr) {
+		t.Errorf("stderr = %q, want an address range", stderr)
+	}
+	if !regexp.MustCompile(`\d+ bytes \(\d+\.\d+ B/ref\)`).MatchString(stderr) {
+		t.Errorf("stderr = %q, want the byte size", stderr)
+	}
+
+	// -info round-trips the same file and reports on stdout.
+	info, _, err := runGen(t, "-info", "-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "5000 references (I=5000 L=0 S=0)") {
+		t.Errorf("-info stdout = %q, want 5000 instruction references", info)
+	}
+	if !strings.Contains(info, "address range:") {
+		t.Errorf("-info stdout = %q, want the address range", info)
+	}
+}
+
+// TestGenerateErrors checks flag validation still errors cleanly.
+func TestGenerateErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "gcc"},                     // missing -o
+		{"-bench", "nosuch", "-o", "x.out"},   // unknown benchmark
+		{"-kind", "bogus", "-o", "x.out"},     // unknown kind
+		{"-format", "elf", "-o", "/dev/null"}, // unknown format
+	} {
+		if _, _, err := runGen(t, args...); err == nil {
+			t.Errorf("args %v: want an error", args)
+		}
+	}
+}

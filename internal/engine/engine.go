@@ -107,6 +107,11 @@ type Options struct {
 	// is cooperative (between simulation batches): a cell past its
 	// deadline yields ErrCellTimeout instead of hanging the sweep.
 	CellTimeout time.Duration
+	// Collector, when non-nil, receives structured execution events
+	// (cell start/attempt/finish with queue-wait and wall times) from
+	// worker goroutines; see observe.go. It is passive: registering one
+	// never changes scheduling or Results.
+	Collector Collector
 }
 
 // errNoPolicy reports a cell with neither Policy nor Direct.
@@ -155,13 +160,27 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]Result, error) {
 	var (
 		done       atomic.Int64
 		progressMu sync.Mutex
+		runStart   = time.Now()
 	)
 	parfor(len(cells), clampWorkers(opts.Workers, len(cells)), func(i int) {
 		if err := ctx.Err(); err != nil {
 			results[i] = Result{Label: cells[i].Label, Err: err}
 			return
 		}
-		results[i] = runCell(ctx, cells[i], opts)
+		var queueWait time.Duration
+		if opts.Collector != nil {
+			queueWait = time.Since(runStart)
+			opts.Collector.CellStarted(CellStart{Index: i, Label: cells[i].Label, QueueWait: queueWait})
+		}
+		results[i] = runCell(ctx, i, cells[i], opts)
+		if opts.Collector != nil {
+			r := results[i]
+			opts.Collector.CellFinished(CellFinish{
+				Index: i, Label: r.Label, QueueWait: queueWait, Wall: r.Wall,
+				Attempts: r.Attempts, Refs: r.Stats.Accesses,
+				Outcome: OutcomeOf(r.Err), Err: r.Err,
+			})
+		}
 		d := int(done.Add(1))
 		if opts.Progress != nil || opts.OnResult != nil {
 			progressMu.Lock()
@@ -179,12 +198,19 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]Result, error) {
 
 // runCell executes one cell, re-running transiently failing attempts per
 // opts.Retry.
-func runCell(ctx context.Context, c Cell, opts Options) Result {
+func runCell(ctx context.Context, i int, c Cell, opts Options) Result {
 	start := time.Now()
 	var res Result
 	for attempt := 1; ; attempt++ {
+		attemptStart := time.Now()
 		res = attemptCell(ctx, c, opts.CellTimeout)
 		res.Attempts = attempt
+		if opts.Collector != nil {
+			opts.Collector.CellAttempted(CellAttempt{
+				Index: i, Label: c.Label, Attempt: attempt,
+				Wall: time.Since(attemptStart), Outcome: OutcomeOf(res.Err), Err: res.Err,
+			})
+		}
 		if res.Err == nil || attempt >= opts.Retry.Attempts ||
 			ctx.Err() != nil || errors.Is(res.Err, context.Canceled) ||
 			errors.Is(res.Err, context.DeadlineExceeded) ||

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// memCollector records every collector event for assertion.
+type memCollector struct {
+	mu       sync.Mutex
+	starts   []CellStart
+	attempts []CellAttempt
+	finishes []CellFinish
+}
+
+func (m *memCollector) CellStarted(ev CellStart) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.starts = append(m.starts, ev)
+}
+
+func (m *memCollector) CellAttempted(ev CellAttempt) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.attempts = append(m.attempts, ev)
+}
+
+func (m *memCollector) CellFinished(ev CellFinish) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finishes = append(m.finishes, ev)
+}
+
+// TestCollectorEvents checks the hook's accounting on a mixed run: clean
+// cells, a transient failure cleared by retry, and a panic. It also
+// verifies the collector is passive — results match an uninstrumented
+// run of the same grid exactly.
+func TestCollectorEvents(t *testing.T) {
+	geom := cache.DM(64, 4)
+	refs := seqRefs(0, 256)
+	mk := func() []Cell {
+		cells := make([]Cell, 0, 6)
+		for i := 0; i < 4; i++ {
+			cells = append(cells, Cell{
+				Label:    fmt.Sprintf("ok-%d", i),
+				Geometry: geom,
+				Stream:   func() ([]trace.Ref, error) { return refs, nil },
+				Policy:   dmPolicy,
+			})
+		}
+		cells = append(cells, Cell{
+			Label:    "flaky",
+			Geometry: geom,
+			Stream:   flakyStream(refs, 1),
+			Policy:   dmPolicy,
+		})
+		cells = append(cells, Cell{
+			Label:    "boom",
+			Geometry: geom,
+			Stream:   func() ([]trace.Ref, error) { return refs, nil },
+			Policy: func(g cache.Geometry) (cache.Simulator, error) {
+				sim, _ := dmPolicy(g)
+				return &panicSim{inner: sim, at: 10}, nil
+			},
+		})
+		return cells
+	}
+	opts := Options{Retry: Retry{Attempts: 3, BaseDelay: 1, MaxDelay: 1}}
+
+	want, err := Run(context.Background(), mk(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &memCollector{}
+	opts.Collector = col
+	got, err := Run(context.Background(), mk(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Label != want[i].Label || got[i].Stats != want[i].Stats ||
+			got[i].Attempts != want[i].Attempts || OutcomeOf(got[i].Err) != OutcomeOf(want[i].Err) {
+			t.Errorf("cell %d: instrumented result %+v differs from bare run %+v", i, got[i], want[i])
+		}
+	}
+
+	if len(col.starts) != 6 || len(col.finishes) != 6 {
+		t.Fatalf("got %d starts, %d finishes; want 6 of each", len(col.starts), len(col.finishes))
+	}
+	// 4 clean + flaky (2 attempts) + panic (1 attempt: panics are not
+	// transient, so no retry).
+	if len(col.attempts) != 7 {
+		t.Errorf("got %d attempt events, want 7", len(col.attempts))
+	}
+
+	byLabel := map[string]CellFinish{}
+	for _, ev := range col.finishes {
+		byLabel[ev.Label] = ev
+		if ev.QueueWait < 0 || ev.Wall <= 0 {
+			t.Errorf("%s: queue=%v wall=%v, want non-negative queue and positive wall", ev.Label, ev.QueueWait, ev.Wall)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		ev := byLabel[fmt.Sprintf("ok-%d", i)]
+		if ev.Outcome != OutcomeOK || ev.Attempts != 1 || ev.Refs != uint64(len(refs)) {
+			t.Errorf("ok-%d: %+v, want ok/1 attempt/%d refs", i, ev, len(refs))
+		}
+	}
+	if ev := byLabel["flaky"]; ev.Outcome != OutcomeOK || ev.Attempts != 2 {
+		t.Errorf("flaky: %+v, want ok after 2 attempts", ev)
+	}
+	if ev := byLabel["boom"]; ev.Outcome != OutcomePanic || ev.Refs != 0 || ev.Err == nil {
+		t.Errorf("boom: %+v, want a panic outcome with zero refs and an error", ev)
+	}
+}
+
+// TestOutcomeOf pins the error classification the telemetry layer keys on.
+func TestOutcomeOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, OutcomeOK},
+		{&CellPanicError{Label: "x", Value: "boom"}, OutcomePanic},
+		{fmt.Errorf("wrapped: %w", ErrCellTimeout), OutcomeTimeout},
+		{context.Canceled, OutcomeCanceled},
+		{context.DeadlineExceeded, OutcomeCanceled},
+		{fmt.Errorf("plain failure"), OutcomeError},
+	}
+	for _, c := range cases {
+		if got := OutcomeOf(c.err); got != c.want {
+			t.Errorf("OutcomeOf(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

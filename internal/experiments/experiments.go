@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -36,6 +37,11 @@ type Config struct {
 	SeedOffset int64
 	// Workers bounds the engine's simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Collector, when non-nil, receives the engine's execution events
+	// for every cell the experiments schedule (cmd/dynex-experiments
+	// threads its telemetry collector through here). Purely
+	// observational; see internal/engine's Collector.
+	Collector engine.Collector
 }
 
 func (c Config) refs() int {
@@ -209,7 +215,24 @@ func mixedKind(w *Workloads, name string) []trace.Ref { return w.Mixed(name) }
 func forEachBenchmark(w *Workloads, kind kindOf, f func(i int, refs []trace.Ref)) {
 	names := w.Names()
 	engine.ForEach(context.Background(), len(names), w.cfg.workers(), func(i int) {
-		f(i, kind(w, names[i]))
+		col := w.cfg.Collector
+		if col == nil {
+			f(i, kind(w, names[i]))
+			return
+		}
+		// ForEach bodies bypass the engine's cell bookkeeping, so report
+		// the per-benchmark unit of work to the collector here: one
+		// synthetic cell per benchmark, its stream length as the ref
+		// count (the body may drive several simulators over it).
+		refs := kind(w, names[i])
+		col.CellStarted(engine.CellStart{Index: i, Label: names[i]})
+		start := time.Now()
+		f(i, refs)
+		wall := time.Since(start)
+		col.CellAttempted(engine.CellAttempt{Index: i, Label: names[i], Attempt: 1,
+			Wall: wall, Outcome: engine.OutcomeOK})
+		col.CellFinished(engine.CellFinish{Index: i, Label: names[i], Wall: wall,
+			Attempts: 1, Refs: uint64(len(refs)), Outcome: engine.OutcomeOK})
 	})
 }
 
@@ -266,7 +289,10 @@ func sweepAverages(w *Workloads, kind kindOf, sizes []uint64, lineSize uint64, l
 			}
 		}
 	}
-	results, err := engine.Run(context.Background(), cells, engine.Options{Workers: w.cfg.workers()})
+	results, err := engine.Run(context.Background(), cells, engine.Options{
+		Workers:   w.cfg.workers(),
+		Collector: w.cfg.Collector,
+	})
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -23,20 +24,37 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of xs (0 if any element is <= 0 or
-// the slice is empty). Provided for ratio summaries.
-func GeoMean(xs []float64) float64 {
+// ErrEmptyInput reports an aggregate asked of zero samples.
+var ErrEmptyInput = errors.New("metrics: empty input")
+
+// GeoMeanErr returns the geometric mean of xs, or a descriptive error
+// when the mean is undefined: an empty slice (ErrEmptyInput) or a
+// non-positive element (identified by index and value). Use it where
+// "no data" and "bad data" must stay distinguishable from a mean that is
+// legitimately small; GeoMean collapses all three to 0.
+func GeoMeanErr(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, ErrEmptyInput
 	}
 	sum := 0.0
-	for _, x := range xs {
+	for i, x := range xs {
 		if x <= 0 {
-			return 0
+			return 0, fmt.Errorf("metrics: geometric mean undefined: element %d is %g (must be > 0)", i, x)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// GeoMean returns the geometric mean of xs, or 0 when it is undefined
+// (empty slice, or any element <= 0). Provided for ratio summaries where
+// 0 is an acceptable sentinel; use GeoMeanErr to tell those cases apart.
+func GeoMean(xs []float64) float64 {
+	m, err := GeoMeanErr(xs)
+	if err != nil {
+		return 0
+	}
+	return m
 }
 
 // Reduction returns the percentage reduction of value relative to base:

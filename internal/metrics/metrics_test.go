@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -26,6 +28,36 @@ func TestGeoMean(t *testing.T) {
 	}
 	if GeoMean([]float64{1, 0}) != 0 {
 		t.Error("GeoMean with zero should be 0")
+	}
+}
+
+func TestGeoMeanErr(t *testing.T) {
+	if _, err := GeoMeanErr(nil); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("GeoMeanErr(nil) err = %v, want ErrEmptyInput", err)
+	}
+	m, err := GeoMeanErr([]float64{2, 8})
+	if err != nil || !almost(m, 4) {
+		t.Errorf("GeoMeanErr([2 8]) = %v, %v; want 4, nil", m, err)
+	}
+	// A non-positive element names its index and value — "invalid" must
+	// not read like "empty" or a legit zero.
+	if _, err := GeoMeanErr([]float64{1, 0, 3}); err == nil ||
+		!strings.Contains(err.Error(), "element 1 is 0") {
+		t.Errorf("GeoMeanErr with zero: err = %v, want the offending element named", err)
+	}
+	if _, err := GeoMeanErr([]float64{2, -3}); err == nil ||
+		!strings.Contains(err.Error(), "element 1 is -3") {
+		t.Errorf("GeoMeanErr with negative: err = %v, want the offending element named", err)
+	}
+	// The wrapper agrees with the error form on every outcome.
+	for _, xs := range [][]float64{nil, {2, 8}, {1, 0}, {-1}} {
+		m, err := GeoMeanErr(xs)
+		if err != nil {
+			m = 0
+		}
+		if got := GeoMean(xs); got != m {
+			t.Errorf("GeoMean(%v) = %v, disagrees with GeoMeanErr's %v", xs, got, m)
+		}
 	}
 }
 

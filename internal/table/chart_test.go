@@ -1,0 +1,94 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestChartGolden pins the exact rendering of a two-series chart: axis
+// labels, marker placement, the category ruler, and the legend. The
+// figures in README/DESIGN are cut-and-paste from this renderer, so the
+// layout is part of the contract.
+func TestChartGolden(t *testing.T) {
+	c := Chart{
+		Title:   "miss rate vs cache size",
+		YLabel:  "miss rate (%)",
+		XFormat: func(x float64) string { return fmt.Sprintf("%.0fK", x) },
+		Height:  8,
+		Series: []metrics.Series{
+			{Name: "direct-mapped", Points: []metrics.Point{{X: 8, Y: 6}, {X: 16, Y: 4}, {X: 32, Y: 2.5}}},
+			{Name: "dynamic exclusion", Points: []metrics.Point{{X: 8, Y: 4.5}, {X: 16, Y: 3}, {X: 32, Y: 2}}},
+		},
+	}
+	want := `miss rate vs cache size
+   6.000 |    *
+   5.143 |
+   4.286 |    +       *
+   3.429 |
+   2.571 |            +       *
+   1.714 |                    +
+   0.857 |
+   0.000 |
+         +------------------------
+                8K     16K     32K
+y: miss rate (%)
+  * = direct-mapped
+  + = dynamic exclusion
+`
+	if got := c.String(); got != want {
+		t.Errorf("chart mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestChartGoldenFlat covers the degenerate all-equal-y scale (the
+// renderer widens the range to avoid dividing by zero) and the default
+// "%g" x formatter.
+func TestChartGoldenFlat(t *testing.T) {
+	c := Chart{
+		Title:  "flat",
+		Height: 4,
+		Series: []metrics.Series{{Name: "constant", Points: []metrics.Point{{X: 1, Y: 0}, {X: 2, Y: 0}}}},
+	}
+	want := `flat
+   1.000 |
+   0.667 |
+   0.333 |
+   0.000 |    *       *
+         +----------------
+                 1       2
+  * = constant
+`
+	if got := c.String(); got != want {
+		t.Errorf("chart mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestChartEmpty checks the empty-series edge: a title plus "(no data)"
+// rather than a zero-width grid.
+func TestChartEmpty(t *testing.T) {
+	if got := (Chart{Title: "fig"}).String(); got != "fig\n(no data)\n" {
+		t.Errorf("empty chart = %q", got)
+	}
+	if got := (Chart{}).String(); got != "\n(no data)\n" {
+		t.Errorf("untitled empty chart = %q", got)
+	}
+}
+
+// TestChartMarkerCycle checks that a seventh series reuses the first
+// marker rather than panicking past the marker table.
+func TestChartMarkerCycle(t *testing.T) {
+	var c Chart
+	for i := 0; i < 7; i++ {
+		c.Series = append(c.Series, metrics.Series{
+			Name:   fmt.Sprintf("s%d", i),
+			Points: []metrics.Point{{X: float64(i), Y: float64(i)}},
+		})
+	}
+	out := c.String()
+	if !strings.Contains(out, "* = s0") || !strings.Contains(out, "* = s6") {
+		t.Errorf("marker cycle: legend should reuse '*' for s6:\n%s", out)
+	}
+}

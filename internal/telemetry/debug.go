@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"sync"
+)
+
+// Live introspection: Publish exposes a collector's counters as an
+// expvar variable (visible at /debug/vars), and ServeDebug serves the
+// standard debug mux — expvar plus net/http/pprof — so a multi-hour
+// sweep can be profiled and watched mid-flight without stopping it.
+
+var (
+	publishMu sync.Mutex
+	// published maps expvar names to the collector currently backing
+	// them. expvar registration is process-permanent, so re-publishing a
+	// name (a second run in the same process, or tests) swaps the backing
+	// collector instead of panicking in expvar.Publish.
+	published = map[string]*Collector{}
+)
+
+// Publish exposes the collector's live Snapshot as the expvar variable
+// name. Publishing the same name again rebinds it to the new collector.
+func (c *Collector) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if _, ok := published[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			publishMu.Lock()
+			cur := published[name]
+			publishMu.Unlock()
+			if cur == nil {
+				return nil
+			}
+			return cur.Snapshot()
+		}))
+	}
+	published[name] = c
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. ":6060", or ":0" for an
+// ephemeral port) serving http.DefaultServeMux — which carries
+// /debug/vars (expvar) and /debug/pprof/* (imported above) — in a
+// background goroutine for the life of the process. It returns the bound
+// address so callers can print a usable URL.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // dies with the process
+	return ln.Addr().String(), nil
+}

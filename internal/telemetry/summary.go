@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// SummarizeTrace replays a structured event log into a human-readable
+// report: aggregate counters, the top-N slowest cells, and the run
+// timeline. The timeline keeps the events that tell the run's story —
+// run start/summary, checkpoint activity, retry attempts, and every cell
+// finish — and drops the cell_start/first-attempt noise their finish
+// lines subsume.
+func SummarizeTrace(events []Event, topN int) string {
+	var b strings.Builder
+	if len(events) == 0 {
+		return "empty event log\n"
+	}
+	span := events[len(events)-1].AtMS - events[0].AtMS
+
+	var finishes []Event
+	var refs uint64
+	var retries, failed int
+	byOut := map[string]int{}
+	var ckptResumes, ckptWrites int
+	var ckptSavedMS float64
+	for _, ev := range events {
+		switch ev.T {
+		case EventCellFinish:
+			finishes = append(finishes, ev)
+			refs += ev.Refs
+			retries += ev.Attempt - 1
+			byOut[ev.Outcome]++
+			if ev.Outcome != engine.OutcomeOK {
+				failed++
+			}
+		case EventCheckpointResume:
+			ckptResumes++
+			ckptSavedMS += ev.SavedMS
+		case EventCheckpointWrite:
+			ckptWrites++
+		}
+	}
+
+	fmt.Fprintf(&b, "trace: %d events spanning %.3fs\n", len(events), span/1000)
+	fmt.Fprintf(&b, "cells: %d finished (%d ok, %d failed), %d retries\n",
+		len(finishes), byOut[engine.OutcomeOK], failed, retries)
+	if failed > 0 {
+		var parts []string
+		for _, out := range []string{engine.OutcomePanic, engine.OutcomeTimeout, engine.OutcomeCanceled, engine.OutcomeError} {
+			if n := byOut[out]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", n, out))
+			}
+		}
+		fmt.Fprintf(&b, "failures: %s\n", strings.Join(parts, ", "))
+	}
+	if span > 0 {
+		fmt.Fprintf(&b, "refs: %d (%.0f refs/sec over the trace span)\n", refs, float64(refs)/(span/1000))
+	} else {
+		fmt.Fprintf(&b, "refs: %d\n", refs)
+	}
+	if ckptResumes > 0 || ckptWrites > 0 {
+		fmt.Fprintf(&b, "checkpoint: %d resumed (saved %.1fs), %d written\n",
+			ckptResumes, ckptSavedMS/1000, ckptWrites)
+	}
+
+	if topN > 0 && len(finishes) > 0 {
+		slow := append([]Event(nil), finishes...)
+		sort.SliceStable(slow, func(i, j int) bool { return slow[i].WallMS > slow[j].WallMS })
+		if len(slow) > topN {
+			slow = slow[:topN]
+		}
+		fmt.Fprintf(&b, "\ntop %d slowest cells:\n", len(slow))
+		for i, ev := range slow {
+			fmt.Fprintf(&b, "%3d. %-32s %9.1fms  (%d attempt%s, %s)\n",
+				i+1, ev.Cell, ev.WallMS, ev.Attempt, plural(ev.Attempt), ev.Outcome)
+		}
+	}
+
+	b.WriteString("\ntimeline:\n")
+	for _, ev := range events {
+		switch ev.T {
+		case EventCellStart:
+			continue // the finish line subsumes it
+		case EventCellAttempt:
+			if ev.Attempt <= 1 {
+				continue // only retries are timeline-worthy
+			}
+		}
+		fmt.Fprintf(&b, "%9.3fs  %-17s %s\n", ev.AtMS/1000, ev.T, eventDetail(ev))
+	}
+	return b.String()
+}
+
+// eventDetail renders the per-event tail of a timeline line.
+func eventDetail(ev Event) string {
+	var parts []string
+	if ev.Cell != "" {
+		parts = append(parts, ev.Cell)
+	}
+	switch ev.T {
+	case EventCellFinish:
+		parts = append(parts, fmt.Sprintf("%.1fms", ev.WallMS))
+		if ev.Attempt > 1 {
+			parts = append(parts, fmt.Sprintf("%d attempts", ev.Attempt))
+		}
+		if ev.Outcome != "" && ev.Outcome != engine.OutcomeOK {
+			parts = append(parts, ev.Outcome)
+			if ev.Err != "" {
+				parts = append(parts, ev.Err)
+			}
+		}
+	case EventCellAttempt:
+		parts = append(parts, fmt.Sprintf("attempt %d: %s", ev.Attempt, ev.Outcome))
+		if ev.Err != "" {
+			parts = append(parts, ev.Err)
+		}
+	case EventCheckpointResume:
+		if ev.SavedMS > 0 {
+			parts = append(parts, fmt.Sprintf("saved %.1fms", ev.SavedMS))
+		}
+	}
+	if ev.Note != "" {
+		parts = append(parts, ev.Note)
+	}
+	return strings.Join(parts, "  ")
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

@@ -1,0 +1,282 @@
+// Package telemetry is the instrumentation layer of the simulation
+// runtime: it turns the engine's execution events (internal/engine's
+// Collector hook) plus checkpoint activity into
+//
+//   - a live Snapshot of run counters (cells done, refs/sec, ETA inputs)
+//     published to CLI progress meters and expvar (/debug/vars),
+//   - an optional structured JSONL event trace (cell start/attempt/
+//     finish, checkpoint write/resume, run summary) with monotonic
+//     timestamps, replayable by SummarizeTrace, and
+//   - a machine-readable RunReport (report.go) with percentile cell
+//     latencies, throughput, retry/panic/timeout counts, and checkpoint
+//     resume savings.
+//
+// Telemetry is strictly observational: attaching a Collector changes no
+// simulation result, and every output goes to its own sink (report file,
+// trace file, stderr, HTTP), never to the CSV/stdout stream. The package
+// uses only the standard library. DESIGN.md §8 documents the model.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// cellRecord is one finished cell as the collector remembers it.
+type cellRecord struct {
+	label     string
+	queueWait time.Duration
+	wall      time.Duration
+	attempts  int
+	refs      uint64
+	outcome   string
+	err       string
+}
+
+// Collector accumulates run telemetry. It implements engine.Collector, so
+// it plugs directly into engine.Options.Collector; CLIs additionally feed
+// it checkpoint activity (CheckpointHit/Miss/Write) and out-of-engine
+// work (RecordCell). All methods are goroutine-safe.
+type Collector struct {
+	mu    sync.Mutex
+	start time.Time
+	total int // expected cells (0 = unknown)
+	trace *TraceWriter
+
+	cells    []cellRecord
+	started  int64
+	finished int64
+	failed   int64
+	attempts int64
+	retries  int64
+	refs     uint64
+	byOut    map[string]int64
+
+	ckptHits   int64
+	ckptMisses int64
+	ckptWrites int64
+	ckptSaved  time.Duration
+}
+
+// NewCollector returns a collector expecting total cells (0 if unknown;
+// the count only feeds progress/ETA arithmetic and the report header).
+// The run clock starts now.
+func NewCollector(total int) *Collector {
+	return &Collector{start: time.Now(), total: total, byOut: map[string]int64{}}
+}
+
+// SetTotal updates the expected cell count (a resuming sweep only knows
+// its pending count after consulting the checkpoint journal).
+func (c *Collector) SetTotal(total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total = total
+}
+
+// SetTrace attaches a structured event trace; every subsequent collector
+// event is also appended to it. Attach before the run starts.
+func (c *Collector) SetTrace(tw *TraceWriter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trace = tw
+}
+
+// emit appends ev to the trace if one is attached. Callers hold c.mu.
+func (c *Collector) emit(ev Event) {
+	if c.trace != nil {
+		c.trace.Emit(ev)
+	}
+}
+
+// CellStarted implements engine.Collector.
+func (c *Collector) CellStarted(ev engine.CellStart) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.started++
+	c.emit(Event{T: EventCellStart, Cell: ev.Label, Index: ev.Index, QueueMS: ms(ev.QueueWait)})
+}
+
+// CellAttempted implements engine.Collector.
+func (c *Collector) CellAttempted(ev engine.CellAttempt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attempts++
+	if ev.Attempt > 1 {
+		c.retries++
+	}
+	c.emit(Event{T: EventCellAttempt, Cell: ev.Label, Index: ev.Index, Attempt: ev.Attempt,
+		WallMS: ms(ev.Wall), Outcome: ev.Outcome, Err: errString(ev.Err)})
+}
+
+// CellFinished implements engine.Collector.
+func (c *Collector) CellFinished(ev engine.CellFinish) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.record(cellRecord{
+		label: ev.Label, queueWait: ev.QueueWait, wall: ev.Wall,
+		attempts: ev.Attempts, refs: ev.Refs, outcome: ev.Outcome, err: errString(ev.Err),
+	}, ev.Index)
+}
+
+// RecordCell ingests one manually timed unit of work — CLIs that run a
+// single simulation outside the engine (cmd/dynex) report through it so
+// every command shares the RunReport format.
+func (c *Collector) RecordCell(label string, wall time.Duration, refs uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.started++
+	c.attempts++
+	c.record(cellRecord{
+		label: label, wall: wall, attempts: 1, refs: refs,
+		outcome: engine.OutcomeOf(err), err: errString(err),
+	}, -1)
+}
+
+// record books one finished cell. Callers hold c.mu.
+func (c *Collector) record(rec cellRecord, index int) {
+	c.cells = append(c.cells, rec)
+	c.finished++
+	c.byOut[rec.outcome]++
+	c.refs += rec.refs
+	if rec.outcome != engine.OutcomeOK {
+		c.failed++
+	}
+	c.emit(Event{T: EventCellFinish, Cell: rec.label, Index: index, Attempt: rec.attempts,
+		QueueMS: ms(rec.queueWait), WallMS: ms(rec.wall), Refs: rec.refs,
+		Outcome: rec.outcome, Err: rec.err})
+}
+
+// CheckpointHit books a cell satisfied from the checkpoint journal
+// instead of being re-simulated; saved is the journaled wall time the
+// resume avoided (0 if the journal did not record one).
+func (c *Collector) CheckpointHit(label string, saved time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ckptHits++
+	c.ckptSaved += saved
+	c.emit(Event{T: EventCheckpointResume, Cell: label, SavedMS: ms(saved)})
+}
+
+// CheckpointMiss books a cell that had to run despite a journal being
+// present (the hit/miss ratio of a resume).
+func (c *Collector) CheckpointMiss() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ckptMisses++
+}
+
+// CheckpointWrite books one record appended to the checkpoint journal.
+func (c *Collector) CheckpointWrite(label string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ckptWrites++
+	c.emit(Event{T: EventCheckpointWrite, Cell: label})
+}
+
+// Annotate emits a custom trace event (no-op without an attached trace):
+// CLIs use it to mark phases, e.g. one event per experiment.
+func (c *Collector) Annotate(event, note string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.emit(Event{T: event, Note: note})
+}
+
+// Start emits the run_start trace event; note typically echoes the
+// command line.
+func (c *Collector) Start(note string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.emit(Event{T: EventRunStart, Note: note})
+}
+
+// Finish emits the run_summary trace event carrying the final counters.
+// Call once, when the run is over.
+func (c *Collector) Finish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := c.snapshotLocked()
+	c.emit(Event{T: EventRunSummary, WallMS: snap.ElapsedMS, Refs: snap.Refs,
+		Note: summaryNote(snap)})
+}
+
+// Snapshot is the collector's live counter set — the payload behind
+// progress meters and the expvar publication.
+type Snapshot struct {
+	CellsTotal    int     `json:"cells_total"`
+	CellsStarted  int64   `json:"cells_started"`
+	CellsDone     int64   `json:"cells_done"`
+	CellsFailed   int64   `json:"cells_failed"`
+	CellsInflight int64   `json:"cells_inflight"`
+	Attempts      int64   `json:"attempts"`
+	Retries       int64   `json:"retries"`
+	Refs          uint64  `json:"refs"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	CellsPerSec   float64 `json:"cells_per_sec"`
+	RefsPerSec    float64 `json:"refs_per_sec"`
+	CheckpointHit int64   `json:"checkpoint_hits"`
+}
+
+// Snapshot returns the current counters.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Collector) snapshotLocked() Snapshot {
+	elapsed := time.Since(c.start)
+	s := Snapshot{
+		CellsTotal:    c.total,
+		CellsStarted:  c.started,
+		CellsDone:     c.finished,
+		CellsFailed:   c.failed,
+		CellsInflight: c.started - c.finished,
+		Attempts:      c.attempts,
+		Retries:       c.retries,
+		Refs:          c.refs,
+		ElapsedMS:     ms(elapsed),
+		CheckpointHit: c.ckptHits,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		s.CellsPerSec = float64(c.finished) / secs
+		s.RefsPerSec = float64(c.refs) / secs
+	}
+	return s
+}
+
+// ETA estimates time remaining from the done/total pair a Progress
+// callback receives and the collector's observed rate (0 when unknown).
+func (c *Collector) ETA(done, total int) time.Duration {
+	if done <= 0 || done >= total {
+		return 0
+	}
+	rate := c.Snapshot().CellsPerSec
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(total-done) / rate * float64(time.Second))
+}
+
+// ms converts a duration to milliseconds as a float.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// sortedLocked extracts one duration per finished cell in milliseconds,
+// sorted, for percentile aggregation. Callers hold c.mu.
+func (c *Collector) sortedLocked(get func(cellRecord) time.Duration) []float64 {
+	xs := make([]float64, len(c.cells))
+	for i, rec := range c.cells {
+		xs[i] = ms(get(rec))
+	}
+	sort.Float64s(xs)
+	return xs
+}
