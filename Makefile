@@ -1,10 +1,10 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-report experiments fuzz faults fmt vet
+.PHONY: all build test race cover bench bench-report experiments fuzz faults fmt vet lint
 
 # `race` is part of the default verify: the parallel simulation engine
 # (internal/engine) must stay race-clean, and CI enforces the same set.
-all: build vet test race
+all: build vet lint test race
 
 build:
 	go build ./...
@@ -12,8 +12,17 @@ build:
 vet:
 	go vet ./...
 
+# dynexcheck is the repo's own static-analysis pass (see DESIGN.md §9):
+# determinism of the simulation core, exhaustive FSM switches, passive
+# telemetry hooks, context-aware sleeps, and %w error wrapping. The
+# gofmt -s -l step fails on any file that needs (re)formatting.
+lint:
+	go run ./cmd/dynexcheck
+	@unformatted=$$(gofmt -s -l .); \
+	if [ -n "$$unformatted" ]; then echo "gofmt -s -l:"; echo "$$unformatted"; exit 1; fi
+
 fmt:
-	gofmt -w .
+	gofmt -s -w .
 
 test:
 	go test ./...

@@ -1,0 +1,81 @@
+// Command dynexcheck runs the repo's custom static-analysis pass
+// (internal/analysis) over the whole module: determinism of the
+// simulation core, exhaustive FSM switches, passive telemetry hooks,
+// context-aware sleeps, and %w error wrapping. See DESIGN.md §9.
+//
+// Usage:
+//
+//	dynexcheck [-C dir] [-checks a,b,...] [-list]
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dynexcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
+	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "dynexcheck: unexpected arguments %q (the whole module is always analyzed)\n", fs.Args())
+		return 2
+	}
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected := all
+	if *checks != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a := byName[name]
+			if a == nil {
+				fmt.Fprintf(stderr, "dynexcheck: unknown check %q (see -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	mod, err := analysis.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "dynexcheck: %v\n", err)
+		return 2
+	}
+	diags := analysis.Check(mod, selected)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "dynexcheck: %d finding(s) in %s (module %s)\n", len(diags), mod.Dir, mod.Path)
+		return 1
+	}
+	return 0
+}

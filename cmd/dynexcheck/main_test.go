@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture returns the path of an internal/analysis testdata module,
+// relative to this package's directory.
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "testdata", "src", name)
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestRealModuleClean is the acceptance gate: the repo's own tree must
+// pass every check.
+func TestRealModuleClean(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-C", filepath.Join("..", ".."))
+	if code != 0 {
+		t.Fatalf("dynexcheck on the real module = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+// TestFixtureFindings asserts each analyzer's fixture makes the driver
+// exit non-zero, with the findings on stdout and a summary on stderr.
+func TestFixtureFindings(t *testing.T) {
+	cases := map[string]string{
+		"determ":   "[determinism]",
+		"fsm":      "[fsm-exhaustive]",
+		"purity":   "[collector-purity]",
+		"ctxsleep": "[ctx-sleep]",
+		"errfmt":   "[errfmt]",
+	}
+	for name, marker := range cases {
+		t.Run(name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, "-C", fixture(name))
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+			}
+			if !strings.Contains(stdout, marker) {
+				t.Errorf("stdout lacks %q:\n%s", marker, stdout)
+			}
+			if !strings.Contains(stderr, "finding(s)") {
+				t.Errorf("stderr lacks a findings summary:\n%s", stderr)
+			}
+		})
+	}
+}
+
+// TestChecksFlag narrows the run to one analyzer: the determ fixture's
+// wall-clock findings disappear when only errfmt runs.
+func TestChecksFlag(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-C", fixture("determ"), "-checks", "errfmt")
+	if code != 0 {
+		t.Errorf("errfmt-only run on determ fixture = %d, want 0\nstdout:\n%s", code, stdout)
+	}
+}
+
+func TestUnknownCheck(t *testing.T) {
+	code, _, stderr := runCLI(t, "-checks", "nosuch")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown check "nosuch"`) {
+		t.Errorf("stderr lacks unknown-check message:\n%s", stderr)
+	}
+}
+
+func TestBrokenModuleExit(t *testing.T) {
+	code, _, stderr := runCLI(t, "-C", fixture("broken"))
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "undefinedIdent") {
+		t.Errorf("stderr does not name the type error:\n%s", stderr)
+	}
+}
+
+func TestList(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "fsm-exhaustive", "collector-purity", "ctx-sleep", "errfmt"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output lacks %q:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestPositionalArgsRejected(t *testing.T) {
+	if code, _, _ := runCLI(t, "stray"); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,208 @@
+// Package analysis is the repo's custom static-analysis pass
+// (cmd/dynexcheck): a stdlib-only framework (go/ast + go/types, no
+// external dependencies) plus the repo-specific analyzers that machine-
+// check the simulator's determinism, exhaustiveness, and telemetry-
+// passivity invariants. DESIGN.md §9 describes each check and the
+// guarantee it protects.
+//
+// A finding is reported as "file:line: [check] message". An audited
+// exception is suppressed by placing
+//
+//	//dynexcheck:allow <check> <justification>
+//
+// on the line directly above the finding; the directive suppresses
+// exactly that one named check on exactly the next line, and a directive
+// naming an unknown check is itself a finding (check "directive").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// File is the path relative to the module root.
+	File string
+	// Line and Col are 1-based.
+	Line int
+	Col  int
+	// Check names the analyzer (or "directive" for directive errors).
+	Check string
+	// Message describes the finding.
+	Message string
+}
+
+// String renders the canonical "file:line: [check] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Check, d.Message)
+}
+
+// Analyzer is one named check, run once per package.
+type Analyzer struct {
+	// Name is the check name used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run reports the analyzer's findings on pass.Pkg via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass hands one (analyzer, package) unit its inputs and collects its
+// diagnostics.
+type Pass struct {
+	// Module is the loaded module (for cross-package type lookups).
+	Module *Module
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	check string
+	out   *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		File:    p.Module.RelPath(position.Filename),
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// RelImportPath returns the package's import path relative to the module
+// ("internal/core"), with the external-test "_test" suffix stripped, so
+// path-scoped analyzers treat a package and its tests alike.
+func (p *Pass) RelImportPath() string {
+	rel := strings.TrimSuffix(p.Pkg.ImportPath, "_test")
+	if rel == p.Module.Path {
+		return ""
+	}
+	return strings.TrimPrefix(rel, p.Module.Path+"/")
+}
+
+// Analyzers returns every check in canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		FSMAnalyzer,
+		CollectorPurityAnalyzer,
+		CtxSleepAnalyzer,
+		ErrFmtAnalyzer,
+	}
+}
+
+// DirectiveCheck is the pseudo-check name under which malformed or
+// unknown //dynexcheck:allow directives are reported.
+const DirectiveCheck = "directive"
+
+// allowKey identifies a (file, line, check) suppression target.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// Check runs the analyzers over every package of mod and returns the
+// surviving findings sorted by position. Allow directives are applied
+// here: a valid directive on line N suppresses the named check's
+// findings on line N+1 of the same file.
+func Check(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Module: mod, Pkg: pkg, check: a.Name, out: &diags}
+			a.Run(pass)
+		}
+	}
+
+	// Directives are validated against the full registry, not the
+	// selection: narrowing -checks must not turn valid directives for
+	// other analyzers into findings.
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	allowed := map[allowKey]bool{}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			scanDirectives(mod, file, known, allowed, &diags)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed[allowKey{d.File, d.Line, d.Check}] {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}
+
+// directivePrefix introduces an allow directive. The comment form is a Go
+// directive comment (no space after //), so gofmt leaves it untouched.
+const directivePrefix = "//dynexcheck:allow"
+
+// scanDirectives records every valid allow directive in file into
+// allowed and reports malformed or unknown ones into diags.
+func scanDirectives(mod *Module, file *ast.File, known map[string]bool, allowed map[allowKey]bool, diags *[]Diagnostic) {
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			pos := mod.Fset.Position(c.Pos())
+			rel := mod.RelPath(pos.Filename)
+			report := func(format string, args ...any) {
+				*diags = append(*diags, Diagnostic{
+					File: rel, Line: pos.Line, Col: pos.Column,
+					Check: DirectiveCheck, Message: fmt.Sprintf(format, args...),
+				})
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				// Some other //dynexcheck:allowXYZ token; almost certainly
+				// a typo of the directive, so say so.
+				report("malformed directive %q: want %q", c.Text, directivePrefix+" <check> <justification>")
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report("directive %q is missing a check name", directivePrefix)
+				continue
+			}
+			name := fields[0]
+			if !known[name] {
+				names := make([]string, 0, len(known))
+				for k := range known {
+					names = append(names, k)
+				}
+				sort.Strings(names)
+				report("directive allows unknown check %q (known: %s)", name, strings.Join(names, ", "))
+				continue
+			}
+			allowed[allowKey{rel, pos.Line + 1, name}] = true
+		}
+	}
+}

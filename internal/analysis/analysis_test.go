@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkFixture loads the named testdata module and returns the rendered
+// diagnostics of a full run of every analyzer.
+func checkFixture(t *testing.T, name string) []string {
+	t.Helper()
+	mod, err := LoadModule(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", name, err)
+	}
+	diags := Check(mod, Analyzers())
+	got := make([]string, 0, len(diags))
+	for _, d := range diags {
+		got = append(got, d.String())
+	}
+	return got
+}
+
+// wantDiags compares got against the exact expected diagnostic lines.
+func wantDiags(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("got %d diagnostics, want %d:\ngot:\n\t%s\nwant:\n\t%s",
+			len(got), len(want), strings.Join(got, "\n\t"), strings.Join(want, "\n\t"))
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag[%d]:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDeterminismFixture pins the determinism analyzer's exact findings:
+// wall-clock reads, global math/rand, escaping writes and emits under a
+// map range — and that seeded rand, loop-local writes, the allow
+// directive, and non-core packages stay clean.
+func TestDeterminismFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "determ"), []string{
+		`internal/core/core.go:13: [determinism] wall-clock read time.Now in simulation core: results must not depend on time`,
+		`internal/core/core.go:16: [determinism] wall-clock read time.Since in simulation core: results must not depend on time`,
+		`internal/core/core.go:19: [determinism] unseeded math/rand.Intn in simulation core: use an explicitly seeded *rand.Rand`,
+		`internal/core/core.go:28: [determinism] write to "total", which escapes the loop, while ranging over map table: iteration order is nondeterministic`,
+		`internal/core/core.go:44: [determinism] fmt.Println while ranging over map table: emit order is nondeterministic`,
+	})
+}
+
+// TestFSMFixture pins fsm-exhaustive: a switch missing a constant is the
+// only finding; full coverage, explicit defaults, non-enum types,
+// single-constant types, and non-constant cases pass.
+func TestFSMFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "fsm"), []string{
+		`a/a.go:21: [fsm-exhaustive] switch on State is not exhaustive: missing C (add the cases or an explicit default)`,
+	})
+}
+
+// TestCollectorPurityFixture pins collector-purity across Collector
+// method bodies and Options hook literals, named hook functions, and
+// field assignments. Goroutine hand-off, select-with-default sends, and
+// same-named methods on non-implementing types pass.
+func TestCollectorPurityFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "purity"), []string{
+		`col/col.go:17: [collector-purity] Collector.CellStarted calls time.Sleep: hooks sit on the scheduling path and must not block`,
+		`col/col.go:22: [collector-purity] Collector.CellAttempted panics: telemetry must never change what a run computes`,
+		`col/col.go:27: [collector-purity] Collector.CellFinished calls os.Exit: hooks must not terminate the run`,
+		`col/col.go:57: [collector-purity] Collector.CellFinished performs a channel send that can block the run (use a select with default)`,
+		`col/col.go:71: [collector-purity] Options.OnResult panics: telemetry must never change what a run computes`,
+		`col/col.go:76: [collector-purity] Options.OnResult calls time.Sleep: hooks sit on the scheduling path and must not block`,
+		`col/col.go:83: [collector-purity] Options.Progress calls os.Exit: hooks must not terminate the run`,
+	})
+}
+
+// TestCtxSleepFixture pins ctx-sleep: raw time.Sleep is banned under
+// internal/engine and internal/checkpoint and nowhere else.
+func TestCtxSleepFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "ctxsleep"), []string{
+		`internal/checkpoint/c.go:7: [ctx-sleep] time.Sleep in internal/checkpoint: use the context-aware sleepCtx pattern so cancellation is honored`,
+		`internal/engine/e.go:7: [ctx-sleep] time.Sleep in internal/engine: use the context-aware sleepCtx pattern so cancellation is honored`,
+	})
+}
+
+// TestErrFmtFixture pins errfmt: %v/%s on a final error argument is
+// flagged (including past a literal %%), while %w, non-error finals,
+// dynamic formats, indexed formats, and non-fmt Errorf pass.
+func TestErrFmtFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "errfmt"), []string{
+		`p/p.go:12: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
+		`p/p.go:21: [errfmt] fmt.Errorf formats the final error with %s: use %w so callers keep errors.Is/errors.As`,
+		`p/p.go:24: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
+	})
+}
+
+// TestAllowDirective pins the directive semantics: a valid directive
+// suppresses exactly one named check on exactly the next line; wrong
+// line or wrong check name leaves the finding; unknown, missing, and
+// run-together check names are diagnostics of their own.
+func TestAllowDirective(t *testing.T) {
+	wantDiags(t, checkFixture(t, "allow"), []string{
+		`p/p.go:21: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
+		`p/p.go:27: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
+		`p/p.go:32: [directive] directive allows unknown check "nosuchcheck" (known: collector-purity, ctx-sleep, determinism, errfmt, fsm-exhaustive)`,
+		`p/p.go:38: [directive] directive "//dynexcheck:allow" is missing a check name`,
+		`p/p.go:43: [directive] malformed directive "//dynexcheck:allowtypo x": want "//dynexcheck:allow <check> <justification>"`,
+	})
+}
+
+// TestBrokenModule checks the loader degrades gracefully on
+// syntactically valid but type-broken code: an error naming the type
+// problem, no panic, no diagnostics.
+func TestBrokenModule(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src", "broken"))
+	if err == nil {
+		t.Fatalf("LoadModule(broken) = %+v, want type error", mod)
+	}
+	if !strings.Contains(err.Error(), "undefinedIdent") {
+		t.Errorf("error %q does not name the undefined identifier", err)
+	}
+}
+
+// TestLoadModuleMissing checks a directory without go.mod errors cleanly.
+func TestLoadModuleMissing(t *testing.T) {
+	if _, err := LoadModule(t.TempDir()); err == nil {
+		t.Error("LoadModule on an empty dir succeeded, want error")
+	}
+}
+
+// TestFormatVerbs pins the format scanner used by errfmt.
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   string
+		ok     bool
+	}{
+		{"plain", "", true},
+		{"%v", "v", true},
+		{"a %d b %s", "ds", true},
+		{"%% %v", "v", true},
+		{"%+v %#x", "vx", true},
+		{"%*d", "*d", true},
+		{"%.2f", "f", true},
+		{"%[1]v", "", false},
+		{"trailing %", "", true},
+	}
+	for _, c := range cases {
+		verbs, ok := formatVerbs(c.format)
+		if got := string(verbs); got != c.want || ok != c.ok {
+			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestModulePath pins go.mod module-path extraction.
+func TestModulePath(t *testing.T) {
+	cases := map[string]string{
+		"module repro\n\ngo 1.22\n": "repro",
+		"// c\nmodule \"a/b\"\n":    "a/b",
+		"go 1.22\n":                 "",
+		"module  spaced/path\ngo 1": "spaced/path",
+	}
+	for in, want := range cases {
+		if got := modulePath([]byte(in)); got != want {
+			t.Errorf("modulePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

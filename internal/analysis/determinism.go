@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// corePackages are the simulation-core packages (relative to the module
+// root) whose outputs must be bit-for-bit reproducible: the sweep CSVs
+// are byte-identical serial vs. parallel, fault seeds replay exactly,
+// and checkpoint fingerprints must match across resumes. Wall-clock
+// reads, the globally seeded math/rand generator, and map-iteration-
+// order-dependent writes all silently break that.
+var corePackages = []string{
+	"internal/core",
+	"internal/cache",
+	"internal/static",
+	"internal/victim",
+	"internal/hierarchy",
+	"internal/opt",
+	"internal/stream",
+	"internal/metrics",
+}
+
+// isCorePass reports whether the pass's package (or its tests) is
+// simulation core.
+func isCorePass(pass *Pass) bool {
+	rel := pass.RelImportPath()
+	for _, c := range corePackages {
+		if rel == c || strings.HasPrefix(rel, c+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// DeterminismAnalyzer forbids nondeterminism sources in the simulation
+// core: wall-clock reads (time.Now, time.Since), the globally seeded
+// top-level math/rand functions, and ranging over a map while writing to
+// (or printing) anything that outlives the loop.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global math/rand, and map-order-dependent writes in simulation core",
+	Run:  runDeterminism,
+}
+
+// seededRandFuncs are the math/rand entry points that construct an
+// explicitly seeded generator; they are the sanctioned route.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+// fmtPrinters are the fmt emit functions flagged inside map-range
+// bodies (the classic nondeterministic-output bug).
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !isCorePass(pass) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil {
+					return true
+				}
+				if isPkgFunc(fn, "time", "Now") || isPkgFunc(fn, "time", "Since") {
+					pass.Reportf(n.Pos(), "wall-clock read time.%s in simulation core: results must not depend on time", fn.Name())
+				}
+				if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !seededRandFuncs[fn.Name()] {
+						pass.Reportf(n.Pos(), "unseeded %s.%s in simulation core: use an explicitly seeded *rand.Rand", pkg.Path(), fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						checkMapRange(pass, n)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags statements inside a range-over-map body whose
+// effects escape the loop — writes to variables declared outside it,
+// channel sends, and fmt print calls — since map iteration order is
+// deliberately randomized, any such effect is order-dependent.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	mapExpr := types.ExprString(rng.X)
+	escapes := func(e ast.Expr) (string, bool) {
+		id := rootIdent(e)
+		if id == nil || id.Name == "_" {
+			return "", false
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || posWithin(obj.Pos(), rng) {
+			return "", false
+		}
+		return id.Name, true
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if name, ok := escapes(lhs); ok {
+					pass.Reportf(n.Pos(), "write to %q, which escapes the loop, while ranging over map %s: iteration order is nondeterministic", name, mapExpr)
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, ok := escapes(n.X); ok {
+				pass.Reportf(n.Pos(), "write to %q, which escapes the loop, while ranging over map %s: iteration order is nondeterministic", name, mapExpr)
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while ranging over map %s: delivery order is nondeterministic", mapExpr)
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtPrinters[fn.Name()] {
+				pass.Reportf(n.Pos(), "fmt.%s while ranging over map %s: emit order is nondeterministic", fn.Name(), mapExpr)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrFmtAnalyzer requires %w when fmt.Errorf's final verb formats an
+// error value. %v flattens the cause to text, so callers lose errors.Is
+// and errors.As — which the engine's retry classification and the CLIs'
+// failure summaries depend on.
+var ErrFmtAnalyzer = &Analyzer{
+	Name: "errfmt",
+	Doc:  "fmt.Errorf whose final verb formats an error must use %w",
+	Run:  runErrFmt,
+}
+
+func runErrFmt(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgFunc(calleeFunc(info, call), "fmt", "Errorf") {
+				return true
+			}
+			// Need the literal format and a non-spread argument list to
+			// line verbs up with arguments.
+			if len(call.Args) < 2 || call.Ellipsis.IsValid() {
+				return true
+			}
+			format, ok := constStringArg(info, call.Args[0])
+			if !ok {
+				return true
+			}
+			verbs, ok := formatVerbs(format)
+			if !ok || len(verbs) != len(call.Args)-1 {
+				return true // indexed args or arity mismatch: vet's territory
+			}
+			last := verbs[len(verbs)-1]
+			if last == 'w' || last == '*' {
+				return true
+			}
+			lastArg := call.Args[len(call.Args)-1]
+			t := info.TypeOf(lastArg)
+			if t == nil || !types.Implements(t, errorIface) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "fmt.Errorf formats the final error with %%%c: use %%w so callers keep errors.Is/errors.As", last)
+			return true
+		})
+	}
+}

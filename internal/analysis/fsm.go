@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FSMAnalyzer enforces exhaustive switches over the module's enum types
+// — the FSM state, policy, strategy, and outcome constants (cache.Result,
+// cache.Policy, hierarchy.Strategy, trace.Kind, ...). A switch over such
+// a type must either cover every declared constant or carry an explicit
+// default, so adding a state (a new exclusion mode, say) fails this
+// check at build time instead of silently mis-simulating.
+//
+// An enum type here is any defined module-local type with an integer
+// underlying type and at least two package-level constants declared with
+// exactly that type.
+var FSMAnalyzer = &Analyzer{
+	Name: "fsm-exhaustive",
+	Doc:  "switches over module enum types must cover every constant or have a default",
+	Run:  runFSM,
+}
+
+func runFSM(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := info.TypeOf(sw.Tag)
+			if t == nil {
+				return true
+			}
+			named := namedOf(t)
+			if named == nil || named.Obj().Pkg() == nil || !pass.Module.Local(named.Obj().Pkg().Path()) {
+				return true
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 {
+				return true
+			}
+			consts := enumConstsOf(named)
+			if len(consts) < 2 {
+				return true
+			}
+
+			var covered []constant.Value
+			for _, clause := range sw.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // explicit default: always exhaustive
+				}
+				for _, e := range cc.List {
+					tv, ok := info.Types[e]
+					if !ok || tv.Value == nil {
+						return true // non-constant case: cannot reason statically
+					}
+					covered = append(covered, tv.Value)
+				}
+			}
+
+			var missing []string
+			for _, c := range consts {
+				found := false
+				for _, v := range covered {
+					if constant.Compare(c.Val(), token.EQL, v) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					// Another constant with the same value may already be
+					// covered (aliased enum members).
+					covered = append(covered, c.Val())
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch on %s is not exhaustive: missing %s (add the cases or an explicit default)",
+					typeName(pass, named), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// typeName renders a named type relative to the pass's package
+// ("Result" in its own package, "cache.Result" elsewhere).
+func typeName(pass *Pass, named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == pass.Pkg.Types {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil for calls through function values, builtins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	return funcOf(info, call.Fun)
+}
+
+// funcOf resolves the *types.Func an identifier or selector denotes.
+func funcOf(info *types.Info, e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgPath.name (methods never match: they have a receiver).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isBuiltinCall reports whether call invokes the named builtin (panic,
+// delete, ...).
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// rootIdent unwraps selectors, indexing, derefs, and parens down to the
+// base identifier of an assignable expression ("c.sets[i].tag" -> "c"),
+// or nil when the base is not an identifier (a call result, say).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// errorIface is the universe's error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// enumConstsOf returns the package-level constants declared with exactly
+// the named type, in declaration-position order. This is what makes a
+// type an "enum" to the fsm-exhaustive check.
+func enumConstsOf(named *types.Named) []*types.Const {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			consts = append(consts, c)
+		}
+	}
+	// Scope names are alphabetical; declaration order reads better in
+	// "missing: ..." messages (Hit, MissFill, MissBypass).
+	for i := 1; i < len(consts); i++ {
+		for j := i; j > 0 && consts[j].Pos() < consts[j-1].Pos(); j-- {
+			consts[j], consts[j-1] = consts[j-1], consts[j]
+		}
+	}
+	return consts
+}
+
+// namedOf returns t as a defined (non-alias) named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// formatVerbs scans a fmt format string and returns, in argument order,
+// one rune per consumed argument: '*' for a dynamic width or precision,
+// otherwise the verb character. It returns ok=false for formats it
+// cannot reason about (explicit argument indexes like %[1]v).
+func formatVerbs(s string) (verbs []rune, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		i++
+	flags:
+		for i < len(s) {
+			switch c := s[i]; {
+			case c == '#' || c == '+' || c == '-' || c == ' ' || c == '.' || (c >= '0' && c <= '9'):
+				i++
+			case c == '*':
+				verbs = append(verbs, '*')
+				i++
+			case c == '[':
+				return nil, false
+			default:
+				break flags
+			}
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '%' {
+			continue // literal %%
+		}
+		verbs = append(verbs, rune(s[i]))
+	}
+	return verbs, true
+}
+
+// constStringArg returns the compile-time string value of e, if any.
+func constStringArg(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// posWithin reports whether pos falls inside node's source range.
+func posWithin(pos token.Pos, node ast.Node) bool {
+	return pos.IsValid() && node.Pos() <= pos && pos <= node.End()
+}

@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Module is a fully parsed and type-checked Go module, ready for
+// analysis. Every package in the module is loaded, including test files:
+// in-package test files are type-checked together with their package,
+// and external test packages (package foo_test) are loaded as their own
+// entries with an import path suffixed "_test".
+type Module struct {
+	// Path is the module path from go.mod.
+	Path string
+	// Dir is the absolute module root.
+	Dir string
+	// Fset resolves every position in the module (shared with the
+	// standard-library importer so cross-package positions agree).
+	Fset *token.FileSet
+	// Pkgs are the analysis packages, sorted by import path.
+	Pkgs []*Package
+
+	// base holds the test-free type-checked packages by import path;
+	// importers (and analyzers resolving cross-package types) see these.
+	base map[string]*types.Package
+}
+
+// Package is one type-checked package with its syntax and type facts.
+type Package struct {
+	// ImportPath is the package's import path ("<module>/internal/core");
+	// external test packages carry an "_test" suffix.
+	ImportPath string
+	// Files is the package's syntax, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info maps syntax to type facts for Files.
+	Info *types.Info
+}
+
+// Base returns the test-free type-checked package for an import path, or
+// nil. Analyzers use it to resolve types declared in other packages
+// (interfaces to implement, enum constant sets) the same way importing
+// packages see them.
+func (m *Module) Base(path string) *types.Package { return m.base[path] }
+
+// Local reports whether path names a package inside the module.
+func (m *Module) Local(path string) bool {
+	return path == m.Path || strings.HasPrefix(path, m.Path+"/")
+}
+
+// RelPath returns path relative to the module root (or path unchanged if
+// not under it), for stable diagnostic output.
+func (m *Module) RelPath(path string) string {
+	if rel, err := filepath.Rel(m.Dir, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}
+
+// The file set and source importer are shared process-wide: types.Object
+// positions only resolve against the file set their syntax was parsed
+// into, and sharing the importer means the standard library is
+// type-checked from source once per process, not once per LoadModule.
+var (
+	loadMu     sync.Mutex
+	sharedFset = token.NewFileSet()
+	stdImport  = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// moduleImporter serves module-local packages from the loader's results
+// and everything else (the standard library) from the source importer.
+type moduleImporter struct {
+	mod map[string]*types.Package
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.mod[path]; ok {
+		return p, nil
+	}
+	return stdImport.Import(path)
+}
+
+// dirPkg is a parsed package directory before type checking.
+type dirPkg struct {
+	importPath string
+	name       string
+	files      []*ast.File // non-test files
+	testFiles  []*ast.File // in-package _test.go files
+	xtestFiles []*ast.File // package foo_test files
+}
+
+// LoadModule parses and type-checks every package under dir (which must
+// contain go.mod). Type errors are reported as a single error; the
+// loader never panics on syntactically valid but type-broken code.
+func LoadModule(dir string) (*Module, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	gomod, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	modPath := modulePath(gomod)
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module path in %s", filepath.Join(dir, "go.mod"))
+	}
+	mod := &Module{Path: modPath, Dir: dir, Fset: sharedFset, base: map[string]*types.Package{}}
+
+	pkgs, err := parseTree(mod)
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(mod, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	if err := typecheckAll(mod, pkgs, order); err != nil {
+		return nil, err
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].ImportPath < mod.Pkgs[j].ImportPath })
+	return mod, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
+// parseTree walks the module directory and parses every package.
+func parseTree(mod *Module) (map[string]*dirPkg, error) {
+	pkgs := map[string]*dirPkg{}
+	err := filepath.WalkDir(mod.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != mod.Dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			// A nested module is not part of this one.
+			if path != mod.Dir {
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		file, err := parser.ParseFile(mod.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("analysis: %w", err)
+		}
+		pdir := filepath.Dir(path)
+		rel, err := filepath.Rel(mod.Dir, pdir)
+		if err != nil {
+			return err
+		}
+		importPath := mod.Path
+		if rel != "." {
+			importPath = mod.Path + "/" + filepath.ToSlash(rel)
+		}
+		dp := pkgs[importPath]
+		if dp == nil {
+			dp = &dirPkg{importPath: importPath}
+			pkgs[importPath] = dp
+		}
+		pkgName := file.Name.Name
+		isTest := strings.HasSuffix(name, "_test.go")
+		switch {
+		case isTest && strings.HasSuffix(pkgName, "_test"):
+			dp.xtestFiles = append(dp.xtestFiles, file)
+		case isTest:
+			dp.testFiles = append(dp.testFiles, file)
+		default:
+			if dp.name != "" && dp.name != pkgName {
+				return fmt.Errorf("analysis: %s: packages %s and %s in one directory", pdir, dp.name, pkgName)
+			}
+			dp.name = pkgName
+			dp.files = append(dp.files, file)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// topoSort orders packages so every module-local import of a package's
+// non-test files precedes it. (Test-file imports may legally reach
+// "later" packages; by the time test files are checked, every base
+// package is already available.)
+func topoSort(mod *Module, pkgs map[string]*dirPkg) ([]string, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var order []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch color[path] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		color[path] = gray
+		for _, imp := range localImports(mod, pkgs[path].files) {
+			if _, ok := pkgs[imp]; !ok {
+				return fmt.Errorf("analysis: %s imports %s, which is not in the module", path, imp)
+			}
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		color[path] = black
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// localImports returns the module-local import paths of files, sorted.
+func localImports(mod *Module, files []*ast.File) []string {
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if mod.Local(path) {
+				seen[path] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newInfo returns a types.Info with every map analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// typecheckAll runs the two type-checking passes: base packages (no test
+// files) in dependency order, then the analysis views (package + its
+// in-package test files, and external test packages).
+func typecheckAll(mod *Module, pkgs map[string]*dirPkg, order []string) error {
+	im := &moduleImporter{mod: mod.base}
+	var typeErrs []error
+	check := func(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+		var firstErr error
+		conf := types.Config{
+			Importer: im,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		pkg, err := conf.Check(path, mod.Fset, files, info)
+		if firstErr != nil {
+			return pkg, firstErr
+		}
+		return pkg, err
+	}
+
+	// Pass 1: base packages. When a package has no in-package test files
+	// this pass doubles as its analysis view, so collect Info here too.
+	for _, path := range order {
+		dp := pkgs[path]
+		if len(dp.files) == 0 {
+			continue
+		}
+		info := newInfo()
+		pkg, err := check(path, dp.files, info)
+		if err != nil {
+			typeErrs = append(typeErrs, err)
+			continue
+		}
+		mod.base[path] = pkg
+		if len(dp.testFiles) == 0 {
+			mod.Pkgs = append(mod.Pkgs, &Package{ImportPath: path, Files: dp.files, Types: pkg, Info: info})
+		}
+	}
+
+	// Pass 2: analysis views with test files. In-package test files are
+	// checked together with their package's sources (a fresh
+	// types.Package; importers of the package keep seeing the base one),
+	// and external test packages are checked on their own.
+	for _, path := range order {
+		dp := pkgs[path]
+		if len(dp.testFiles) > 0 && mod.base[path] != nil {
+			files := append(append([]*ast.File{}, dp.files...), dp.testFiles...)
+			info := newInfo()
+			pkg, err := check(path, files, info)
+			if err != nil {
+				typeErrs = append(typeErrs, err)
+			} else {
+				mod.Pkgs = append(mod.Pkgs, &Package{ImportPath: path, Files: files, Types: pkg, Info: info})
+			}
+		}
+		if len(dp.xtestFiles) > 0 {
+			info := newInfo()
+			pkg, err := check(path+"_test", dp.xtestFiles, info)
+			if err != nil {
+				typeErrs = append(typeErrs, err)
+			} else {
+				mod.Pkgs = append(mod.Pkgs, &Package{ImportPath: path + "_test", Files: dp.xtestFiles, Types: pkg, Info: info})
+			}
+		}
+	}
+
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, 3)
+		for i, err := range typeErrs {
+			if i == 3 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-3))
+				break
+			}
+			msgs = append(msgs, err.Error())
+		}
+		return fmt.Errorf("analysis: type errors:\n\t%s", strings.Join(msgs, "\n\t"))
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxSleepPackages are the packages (relative to the module root) where
+// a raw time.Sleep is banned: both sit on the cancellation path of a
+// sweep, and a plain sleep there holds a worker hostage after the user
+// hits ^C. The engine's sleepCtx (a timer raced against ctx.Done) is the
+// sanctioned pattern.
+var ctxSleepPackages = []string{
+	"internal/engine",
+	"internal/checkpoint",
+}
+
+// CtxSleepAnalyzer bans time.Sleep under internal/engine and
+// internal/checkpoint in favor of the context-aware backoff sleep.
+var CtxSleepAnalyzer = &Analyzer{
+	Name: "ctx-sleep",
+	Doc:  "ban time.Sleep in engine/checkpoint; use the context-aware sleepCtx pattern",
+	Run:  runCtxSleep,
+}
+
+func runCtxSleep(pass *Pass) {
+	rel := pass.RelImportPath()
+	banned := false
+	for _, p := range ctxSleepPackages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			banned = true
+			break
+		}
+	}
+	if !banned {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(calleeFunc(info, call), "time", "Sleep") {
+				pass.Reportf(call.Pos(), "time.Sleep in %s: use the context-aware sleepCtx pattern so cancellation is honored", rel)
+			}
+			return true
+		})
+	}
+}

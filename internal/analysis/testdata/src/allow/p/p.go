@@ -1,0 +1,44 @@
+// Package p exercises the //dynexcheck:allow directive.
+package p
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Suppressed is an audited exception: no finding.
+func Suppressed() error {
+	//dynexcheck:allow errfmt fixture-audited: message quality only
+	return fmt.Errorf("x: %v", errBase)
+}
+
+// WrongLine's directive is not directly above the finding: finding stays.
+func WrongLine() error {
+	//dynexcheck:allow errfmt directives only reach the very next line
+
+	return fmt.Errorf("x: %v", errBase)
+}
+
+// WrongCheck allows a different check: finding stays.
+func WrongCheck() error {
+	//dynexcheck:allow determinism wrong check name does not suppress errfmt
+	return fmt.Errorf("x: %v", errBase)
+}
+
+// Unknown names a check that does not exist: directive finding.
+func Unknown() error {
+	//dynexcheck:allow nosuchcheck bogus
+	return fmt.Errorf("x: %w", errBase)
+}
+
+// Missing has no check name: directive finding.
+//
+//dynexcheck:allow
+func Missing() error { return nil }
+
+// Typo runs the directive into the check name: directive finding.
+//
+//dynexcheck:allowtypo x
+func Typo() error { return nil }

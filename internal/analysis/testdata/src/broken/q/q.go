@@ -1,0 +1,7 @@
+// Package q parses but does not type-check.
+package q
+
+// Broken references an undeclared identifier.
+func Broken() int {
+	return undefinedIdent
+}

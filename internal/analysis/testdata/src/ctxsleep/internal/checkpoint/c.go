@@ -1,0 +1,7 @@
+// Package checkpoint is a ctx-sleep fixture.
+package checkpoint
+
+import "time"
+
+// Nap sleeps without a context: finding.
+func Nap() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,7 @@
+// Package engine is a ctx-sleep fixture.
+package engine
+
+import "time"
+
+// Nap sleeps without a context: finding.
+func Nap() { time.Sleep(time.Millisecond) }

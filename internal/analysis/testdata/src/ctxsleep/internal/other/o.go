@@ -1,0 +1,7 @@
+// Package other is outside the ctx-sleep scope.
+package other
+
+import "time"
+
+// Nap is clean here: the ban covers engine and checkpoint only.
+func Nap() { time.Sleep(time.Millisecond) }

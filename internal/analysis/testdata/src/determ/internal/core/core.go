@@ -1,0 +1,52 @@
+// Package core is a determinism-check fixture posing as simulation core.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+var table = map[int]int{1: 1, 2: 2}
+
+// Wall reads the wall clock: finding.
+func Wall() time.Time { return time.Now() }
+
+// Elapsed reads the wall clock via Since: finding.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Roll uses the global math/rand generator: finding.
+func Roll() int { return rand.Intn(6) }
+
+// SeededRoll uses an explicitly seeded generator: clean.
+func SeededRoll() int { return rand.New(rand.NewSource(1)).Intn(6) }
+
+// Sum writes an escaping accumulator inside a map range: finding.
+func Sum() int {
+	total := 0
+	for _, v := range table {
+		total += v
+	}
+	return total
+}
+
+// Keys only touches loop-local state inside a map range: clean.
+func Keys() {
+	for k := range table {
+		double := k * 2
+		_ = double
+	}
+}
+
+// Emit prints inside a map range: finding.
+func Emit() {
+	for k := range table {
+		fmt.Println(k)
+	}
+}
+
+// AllowedWall is an audited exception: suppressed by the directive.
+func AllowedWall() time.Time {
+	//dynexcheck:allow determinism fixture-audited exception
+	return time.Now()
+}

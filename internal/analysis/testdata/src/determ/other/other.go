@@ -1,0 +1,8 @@
+// Package other is outside the simulation core; wall-clock reads are
+// allowed here.
+package other
+
+import "time"
+
+// Wall is clean: determinism only applies to core packages.
+func Wall() time.Time { return time.Now() }

@@ -1,0 +1,36 @@
+// Package p is an errfmt fixture.
+package p
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Flatten loses the cause to %v: finding.
+func Flatten() error { return fmt.Errorf("ctx %d: %v", 1, errBase) }
+
+// Wrapped uses %w: clean.
+func Wrapped() error { return fmt.Errorf("ctx %d: %w", 1, errBase) }
+
+// FinalInt's final verb formats an int, not the error: clean.
+func FinalInt() error { return fmt.Errorf("%v happened at %d", errBase, 2) }
+
+// Stringed loses the cause to %s: finding.
+func Stringed() error { return fmt.Errorf("oops: %s", errBase) }
+
+// Escaped has a literal %% before the offending %v: finding.
+func Escaped() error { return fmt.Errorf("50%%: %v", errBase) }
+
+// Dynamic has no constant format: skipped.
+func Dynamic(f string) error { return fmt.Errorf(f, errBase) }
+
+// Indexed uses explicit argument indexes: skipped.
+func Indexed() error { return fmt.Errorf("%[1]v", errBase) }
+
+// Errorf is a local function, not fmt.Errorf: clean.
+func Errorf(format string, args ...any) error { return nil }
+
+// NotFmt calls the local Errorf: clean.
+func NotFmt() error { return Errorf("%v", errBase) }

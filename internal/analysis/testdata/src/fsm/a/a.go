@@ -1,0 +1,75 @@
+// Package a is an fsm-exhaustive fixture.
+package a
+
+// State is a three-state enum.
+type State uint8
+
+const (
+	A State = iota
+	B
+	C
+)
+
+// Single has one constant, so it is not an enum.
+type Single uint8
+
+// Only is Single's lone constant.
+const Only Single = 0
+
+// Missing lacks C and has no default: finding.
+func Missing(s State) int {
+	switch s {
+	case A:
+		return 1
+	case B:
+		return 2
+	}
+	return 0
+}
+
+// Covered names every constant: clean.
+func Covered(s State) int {
+	switch s {
+	case A, B:
+		return 1
+	case C:
+		return 2
+	}
+	return 0
+}
+
+// Defaulted has an explicit default: clean.
+func Defaulted(s State) int {
+	switch s {
+	default:
+		return 0
+	}
+}
+
+// Plain switches a non-enum type: clean.
+func Plain(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// One switches a single-constant type: clean.
+func One(m Single) int {
+	switch m {
+	case Only:
+		return 1
+	}
+	return 0
+}
+
+// NonConst has a non-constant case, so coverage cannot be reasoned
+// about statically: clean.
+func NonConst(s, dyn State) int {
+	switch s {
+	case dyn:
+		return 1
+	}
+	return 0
+}

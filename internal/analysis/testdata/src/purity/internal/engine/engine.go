@@ -1,0 +1,29 @@
+// Package engine mirrors the real engine's observation surface for the
+// collector-purity fixture.
+package engine
+
+// CellStart reports a worker picking up a cell.
+type CellStart struct{ Index int }
+
+// CellAttempt reports one finished attempt.
+type CellAttempt struct{ Index int }
+
+// CellFinish reports a cell's final result.
+type CellFinish struct{ Index int }
+
+// Result is a cell outcome.
+type Result struct{ Err error }
+
+// Collector observes a run.
+type Collector interface {
+	CellStarted(CellStart)
+	CellAttempted(CellAttempt)
+	CellFinished(CellFinish)
+}
+
+// Options tunes a run.
+type Options struct {
+	OnResult  func(i int, r Result)
+	Progress  func(done, total int)
+	Collector Collector
+}

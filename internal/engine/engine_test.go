@@ -84,6 +84,7 @@ func TestRunDeterministicOrder(t *testing.T) {
 			Stream: func() ([]trace.Ref, error) {
 				// Early cells sleep longest, so completion order is
 				// roughly the reverse of submission order.
+				//dynexcheck:allow ctx-sleep test fixture burns real time to scramble completion order; nothing to cancel
 				time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
 				return seqRefs(uint64(i), 16), nil
 			},
@@ -121,6 +122,7 @@ func TestRunBoundsWorkers(t *testing.T) {
 						break
 					}
 				}
+				//dynexcheck:allow ctx-sleep test fixture holds the worker briefly to observe the in-flight bound
 				time.Sleep(time.Millisecond)
 				inFlight.Add(-1)
 				return nil, nil

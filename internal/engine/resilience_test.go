@@ -220,6 +220,7 @@ func TestFaultCellTimeout(t *testing.T) {
 	cells := []Cell{
 		{Label: "runaway", Geometry: geom,
 			Stream: func() ([]trace.Ref, error) {
+				//dynexcheck:allow ctx-sleep test fixture must burn real wall time past the cell deadline
 				time.Sleep(20 * time.Millisecond) // burn past the deadline
 				return slowRefs, nil
 			},
@@ -247,6 +248,7 @@ func TestFaultTimeoutNotRetried(t *testing.T) {
 		Label:    "runaway",
 		Geometry: cache.DM(64, 4),
 		Stream: func() ([]trace.Ref, error) {
+			//dynexcheck:allow ctx-sleep test fixture must burn real wall time past the cell deadline
 			time.Sleep(10 * time.Millisecond)
 			return nil, nil
 		},
@@ -342,6 +344,7 @@ func TestCancelMidSweepRace(t *testing.T) {
 		}
 	}
 	go func() {
+		//dynexcheck:allow ctx-sleep test fixture delays the cancel until workers are mid-sweep
 		time.Sleep(2 * time.Millisecond)
 		cancel()
 	}()

@@ -60,6 +60,9 @@ func (p *Profile) Add(addr uint64) {
 		p.hits[block]++
 	case cache.MissFill:
 		p.fills[block]++
+	case cache.MissBypass:
+		// The training cache is a conventional direct-mapped cache; it
+		// never bypasses. Covered so the outcome switch stays exhaustive.
 	}
 }
 
@@ -91,6 +94,7 @@ func (p *Profile) Exclusions(alpha float64) (map[uint64]bool, error) {
 	for b, c := range p.counts {
 		set := b % sets
 		if c > hottest[set] {
+			//dynexcheck:allow determinism per-set max is order-independent
 			hottest[set] = c
 		}
 	}
@@ -98,6 +102,7 @@ func (p *Profile) Exclusions(alpha float64) (map[uint64]bool, error) {
 	for b, c := range p.counts {
 		set := b % sets
 		if float64(c) < alpha*float64(hottest[set]) {
+			//dynexcheck:allow determinism keyed by the range key; each block is decided independently
 			excluded[b] = true
 		}
 	}
@@ -120,7 +125,9 @@ func (p *Profile) NetExclusions() map[uint64]bool {
 		// Ties break toward the lower block number so the result does not
 		// depend on map iteration order.
 		if prev, ok := hotBlock[set]; !ok || c > hottest[set] || (c == hottest[set] && b < prev) {
+			//dynexcheck:allow determinism per-set max with lowest-block tie-break; order-independent
 			hottest[set] = c
+			//dynexcheck:allow determinism same tie-broken per-set max as the line above
 			hotBlock[set] = b
 		}
 	}
@@ -131,6 +138,7 @@ func (p *Profile) NetExclusions() map[uint64]bool {
 			continue
 		}
 		if p.fills[b] > p.hits[b] {
+			//dynexcheck:allow determinism keyed by the range key; each block is decided independently
 			excluded[b] = true
 		}
 	}

@@ -72,7 +72,7 @@ func (d *DinReader) Next() (Ref, error) {
 		}
 		kind, err := kindOfDin(label)
 		if err != nil {
-			return Ref{}, fmt.Errorf("trace: din line %d: %v", d.line, err)
+			return Ref{}, fmt.Errorf("trace: din line %d: %w", d.line, err)
 		}
 		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
 		if err != nil {
