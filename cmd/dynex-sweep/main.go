@@ -50,14 +50,12 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
-	"repro/internal/opt"
+	"repro/internal/policy"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
-	"repro/internal/victim"
 )
 
 func main() {
@@ -81,7 +79,8 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		refs        = fs.Int("refs", 500_000, "references per benchmark")
 		sizes       = fs.String("sizes", "4096,8192,16384,32768", "comma-separated cache sizes in bytes")
 		lines       = fs.String("lines", "4", "comma-separated line sizes in bytes")
-		policies    = fs.String("policies", "dm,de,opt", "comma-separated: dm, de, de-hashed, opt, lru2, lru4, victim")
+		policies    = fs.String("policies", "dm,de,opt", "comma-separated policy specs ("+strings.Join(policy.Names(), ", ")+"; options like de:sticky=2,store=hashed*4)")
+		listPols    = fs.Bool("list-policies", false, "print every registered policy name, one per line, and exit")
 		workers     = fs.Int("workers", 0, "simulation workers (0 = all cores)")
 		progress    = fs.Bool("progress", false, "report cell progress on stderr")
 		ckptPath    = fs.String("checkpoint", "", "journal finished cells to this file and resume from it")
@@ -96,6 +95,15 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// -list-policies is the registry inventory, machine-readable so CI can
+	// iterate every registered policy.
+	if *listPols {
+		for _, name := range policy.Names() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
 	}
 
 	// -trace-summary is a replay mode: no simulation, just the timeline.
@@ -121,9 +129,21 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad -lines: %w", err)
 	}
-	polList := strings.Split(*policies, ",")
-	for i := range polList {
-		polList[i] = strings.TrimSpace(polList[i])
+	// Fail fast: validate the entire -policies list before any stream is
+	// synthesized or any cell scheduled, so a typo in the last policy
+	// cannot waste a long sweep. The raw strings stay as the CSV policy
+	// labels and checkpoint fingerprints; the parsed specs build the cells.
+	polList, err := policy.SplitList(*policies)
+	if err != nil {
+		return fmt.Errorf("bad -policies: %w", err)
+	}
+	polSpecs := make([]policy.Spec, len(polList))
+	for i, pol := range polList {
+		sp, err := policy.Parse(pol)
+		if err != nil {
+			return fmt.Errorf("bad -policies: %w", err)
+		}
+		polSpecs[i] = sp
 	}
 
 	switch *kind {
@@ -186,11 +206,9 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				if err := geom.Validate(); err != nil {
 					return err
 				}
-				for _, pol := range polList {
-					cell, err := policyCell(pol, geom)
-					if err != nil {
-						return err
-					}
+				for pi, pol := range polList {
+					cell := polSpecs[pi].Cell()
+					cell.Geometry = geom
 					cell.Label = fmt.Sprintf("%s/%d/%d/%s", b.Name, size, line, pol)
 					cell.Stream = lazy
 					if injectPanic != "" && strings.Contains(cell.Label, injectPanic) {
@@ -440,50 +458,6 @@ func injectCellPanic(cell *engine.Cell) {
 			panic("faultinject: injected panic in direct cell")
 		}
 	}
-}
-
-// policyCell returns the engine cell body for one (policy, geometry).
-func policyCell(policy string, geom cache.Geometry) (engine.Cell, error) {
-	cell := engine.Cell{Geometry: geom}
-	lastLine := geom.LineSize > 4
-	switch policy {
-	case "dm":
-		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
-			return cache.NewDirectMapped(g)
-		}
-	case "de":
-		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
-			return core.New(core.Config{Geometry: g, Store: core.NewTableStore(true), UseLastLine: lastLine})
-		}
-	case "de-hashed":
-		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
-			store, err := core.NewHashedStore(int(g.Lines())*4, true)
-			if err != nil {
-				return nil, err
-			}
-			return core.New(core.Config{Geometry: g, Store: store, UseLastLine: lastLine})
-		}
-	case "opt":
-		cell.Direct = func(refs []trace.Ref, g cache.Geometry) (cache.Stats, error) {
-			return opt.SimulateDM(refs, g, lastLine), nil
-		}
-	case "lru2", "lru4":
-		ways := 2
-		if policy == "lru4" {
-			ways = 4
-		}
-		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
-			g.Ways = ways
-			return cache.NewSetAssoc(g, cache.LRU, 1)
-		}
-	case "victim":
-		cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
-			return victim.New(g, 4)
-		}
-	default:
-		return engine.Cell{}, fmt.Errorf("unknown policy %q", policy)
-	}
-	return cell, nil
 }
 
 func parseUints(s string) ([]uint64, error) {

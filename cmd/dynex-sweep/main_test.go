@@ -259,3 +259,102 @@ func TestSweepInjectParse(t *testing.T) {
 		}
 	}
 }
+
+// seedArgs reproduces the grid that generated testdata/seed_sweep.csv
+// and testdata/seed_journal.jsonl before the policy-registry refactor.
+var seedArgs = []string{
+	"-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192", "-lines", "4,16",
+	"-policies", "dm,de,de-hashed,opt,lru2,lru4,victim",
+}
+
+// TestSweepGoldenCSV pins the refactor's compatibility contract: for
+// every pre-registry policy name, the CSV is byte-identical to the
+// output captured from the pre-refactor command.
+func TestSweepGoldenCSV(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "seed_sweep.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := runSweep(t, seedArgs...)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CSV differs from pre-refactor golden:\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestSweepResumeSeedJournal checks checkpoint journals written before
+// the refactor still resume: every fingerprint matches, nothing is
+// re-simulated, and the CSV equals the golden.
+func TestSweepResumeSeedJournal(t *testing.T) {
+	seed, err := os.ReadFile(filepath.Join("testdata", "seed_journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "seed.jsonl")
+	if err := os.WriteFile(ckpt, seed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, stderr, err := runSweep(t, append([]string{"-checkpoint", ckpt}, seedArgs...)...)
+	if err != nil {
+		t.Fatalf("resume: %v\nstderr: %s", err, stderr)
+	}
+	if !strings.Contains(stderr, "resuming: 28 of 28 cells journaled, 0 to run") {
+		t.Errorf("stderr = %q, want every pre-refactor fingerprint to hit", stderr)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "seed_sweep.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Error("CSV resumed from the pre-refactor journal differs from golden")
+	}
+}
+
+// TestSweepFailFastBadPolicy checks the whole -policies list is
+// validated before any cell output: a trailing typo aborts with a parse
+// error and an empty stdout.
+func TestSweepFailFastBadPolicy(t *testing.T) {
+	out, _, err := runSweep(t, "-bench", "gcc", "-refs", "20000", "-sizes", "4096",
+		"-policies", "dm,de,not-a-policy")
+	if err == nil || !strings.Contains(err.Error(), "bad -policies") {
+		t.Fatalf("err = %v, want a bad -policies parse error", err)
+	}
+	if out != "" {
+		t.Errorf("stdout = %q, want empty (no partial CSV)", out)
+	}
+}
+
+// TestSweepListPolicies pins the registry inventory exposed to CI: one
+// name per line, families before their aliases, every line parseable.
+func TestSweepListPolicies(t *testing.T) {
+	out, _, err := runSweep(t, "-list-policies")
+	if err != nil {
+		t.Fatalf("-list-policies: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	want := []string{"dm", "de", "de-hashed", "de-stream", "opt", "lru", "lru2", "lru4", "fifo", "fifo2", "victim", "stream"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d names %q, want %d", len(lines), lines, len(want))
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("name[%d] = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+// TestSweepSpecPolicy checks an option-bearing spec runs as a sweep
+// policy and its raw string is echoed in the CSV policy column.
+func TestSweepSpecPolicy(t *testing.T) {
+	out, _, err := runSweep(t, "-bench", "gcc", "-refs", "20000", "-sizes", "4096",
+		"-policies", "de:sticky=2,store=hashed*8")
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	// The option comma makes the policy field CSV-quoted.
+	if !strings.Contains(out, `gcc,instr,4096,4,"de:sticky=2,store=hashed*8",`) {
+		t.Errorf("CSV %q does not echo the raw spec in the policy column", out)
+	}
+}

@@ -18,15 +18,12 @@ import (
 	"time"
 
 	"repro/internal/cache"
-	"repro/internal/core"
 	"repro/internal/hierarchy"
-	"repro/internal/opt"
 	"repro/internal/patterns"
+	"repro/internal/policy"
 	"repro/internal/spec"
-	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
-	"repro/internal/victim"
 )
 
 func main() {
@@ -46,8 +43,8 @@ func run() error {
 		warmup     = flag.Int("warmup", 0, "references excluded from the reported stats (single-level policies; must leave a nonempty window)")
 		size       = flag.Uint64("size", 32<<10, "cache size in bytes")
 		line       = flag.Uint64("line", 4, "line size in bytes")
-		policy     = flag.String("policy", "de", "dm, de, de-hashed, opt, lru2, lru4, fifo2, victim, stream")
-		lastLine   = flag.Bool("lastline", false, "enable the last-line buffer (recommended for line > 4)")
+		policyStr  = flag.String("policy", "de", "policy spec, e.g. de:sticky=2,store=hashed*4 ("+strings.Join(policy.Names(), ", ")+")")
+		lastLine   = flag.Bool("lastline", false, "force the §6 last-line buffer on/off (default: auto — enabled when line > 4)")
 		sticky     = flag.Int("sticky", 1, "sticky levels (1 = the paper's FSM)")
 		l2         = flag.Uint64("l2", 0, "add a second level of this size (bytes); 0 = single level")
 		strategy   = flag.String("strategy", "assume-hit", "hit-last storage with -l2: assume-hit, assume-miss, hashed")
@@ -63,12 +60,36 @@ func run() error {
 		return nil
 	}
 
+	pspec, err := policy.Parse(*policyStr)
+	if err != nil {
+		return err
+	}
+	// The legacy -lastline and -sticky flags act as spec overrides, but
+	// only when given explicitly — a spec option ("de:nolastline") must
+	// not be clobbered by a flag default.
+	var flagErr error
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "lastline":
+			pspec = pspec.WithLastLine(*lastLine)
+		case "sticky":
+			if *sticky < 1 || *sticky > 255 {
+				flagErr = fmt.Errorf("-sticky %d out of [1,255]", *sticky)
+				return
+			}
+			pspec = pspec.WithSticky(*sticky)
+		}
+	})
+	if flagErr != nil {
+		return flagErr
+	}
+
 	streamRefs, desc, err := loadRefs(*benchName, *pattern, *traceFile, *kind, *refs, *size)
 	if err != nil {
 		return err
 	}
 	geom := cache.DM(*size, *line)
-	fmt.Printf("workload: %s (%d refs)\ncache:    %s, policy %s\n\n", desc, len(streamRefs), geom, *policy)
+	fmt.Printf("workload: %s (%d refs)\ncache:    %s, policy %s\n\n", desc, len(streamRefs), geom, pspec)
 
 	// -report: one telemetry cell covering the whole simulation, so the
 	// single-run CLI shares the batch drivers' RunReport format.
@@ -81,7 +102,7 @@ func run() error {
 		if col == nil {
 			return nil
 		}
-		col.RecordCell(desc+"/"+*policy, time.Since(simStart), uint64(len(streamRefs)), nil)
+		col.RecordCell(desc+"/"+*policyStr, time.Since(simStart), uint64(len(streamRefs)), nil)
 		return col.WriteReport(*reportPath, "dynex "+strings.Join(os.Args[1:], " "))
 	}
 
@@ -94,102 +115,34 @@ func run() error {
 		}
 		return writeReport()
 	}
-	if err := validateWarmup(*warmup, len(streamRefs)); err != nil {
+	sim, err := pspec.Build(geom)
+	if err != nil {
 		return err
 	}
-
-	// printStats reports the warmup-subtracted measurement window.
-	printStats := func(s cache.Stats) {
-		if *warmup > 0 {
-			fmt.Printf("(steady state after %d warmup refs)\n", *warmup)
-		}
-		fmt.Println(s)
+	// policy.Window runs the warmup-snapshot dance for every policy,
+	// including opt's whole-stream special case, and windows the
+	// policy-specific counters alongside the headline stats.
+	m, err := policy.Window(sim, streamRefs, *warmup)
+	if err != nil {
+		return err
 	}
-	// report drives the simulator, discarding the warmup prefix from the
-	// reported statistics.
-	report := func(sim cache.Simulator) {
-		printStats(windowStats(sim, streamRefs, *warmup))
+	if *warmup > 0 {
+		fmt.Printf("(steady state after %d warmup refs)\n", *warmup)
 	}
-
-	switch *policy {
-	case "dm":
-		report(cache.MustDirectMapped(geom))
-	case "de", "de-hashed":
-		var store core.HitLastStore = core.NewTableStore(true)
-		if *policy == "de-hashed" {
-			store = core.MustHashedStore(int(geom.Lines())*4, true)
-		}
-		c := core.Must(core.Config{Geometry: geom, Store: store, UseLastLine: *lastLine, StickyMax: *sticky})
-		// Snapshot the exclusion counters over the same warmup window as
-		// the headline stats, so both describe the steady state.
-		cache.RunRefs(c, streamRefs[:*warmup])
-		warmStats, warmExtra := c.Stats(), c.Extra()
-		cache.RunRefs(c, streamRefs[*warmup:])
-		printStats(c.Stats().Sub(warmStats))
-		ex := c.Extra().Sub(warmExtra)
-		fmt.Printf("exclusion: defenses=%d overrides=%d lastline-hits=%d\n",
-			ex.StickyDefenses, ex.HitLastOverrides, ex.LastLineHits)
-	case "opt":
-		// The optimal simulator needs the whole stream's future knowledge,
-		// so warmup means counting only post-warmup outcomes rather than
-		// snapshotting a live simulator.
-		printStats(opt.SimulateDMWindow(streamRefs, geom, *lastLine, *warmup))
-	case "lru2", "lru4", "fifo2":
-		g := geom
-		g.Ways = 2
-		pol := cache.LRU
-		if *policy == "lru4" {
-			g.Ways = 4
-		}
-		if *policy == "fifo2" {
-			pol = cache.FIFO
-		}
-		c, err := cache.NewSetAssoc(g, pol, 1)
-		if err != nil {
-			return err
-		}
-		report(c)
-	case "victim":
-		c := victim.Must(geom, 4)
-		cache.RunRefs(c, streamRefs[:*warmup])
-		warmStats, warmExtra := c.Stats(), c.Extra()
-		cache.RunRefs(c, streamRefs[*warmup:])
-		printStats(c.Stats().Sub(warmStats))
-		fmt.Printf("victim hits: %d\n", c.Extra().Sub(warmExtra).VictimHits)
-	case "stream":
-		c := stream.Must(geom, 4)
-		cache.RunRefs(c, streamRefs[:*warmup])
-		warmStats, warmExtra := c.Stats(), c.Extra()
-		cache.RunRefs(c, streamRefs[*warmup:])
-		printStats(c.Stats().Sub(warmStats))
-		fmt.Printf("stream hits: %d\n", c.Extra().Sub(warmExtra).StreamHits)
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
+	fmt.Println(m.Stats)
+	if len(m.Extras) > 0 {
+		fmt.Println("counters:", formatCounters(m.Extras))
 	}
 	return writeReport()
 }
 
-// validateWarmup rejects warmup windows that leave nothing to measure. A
-// silently clamped warmup would report full-stream numbers while claiming
-// a steady-state window.
-func validateWarmup(warmup, n int) error {
-	if warmup < 0 {
-		return fmt.Errorf("-warmup %d is negative", warmup)
+// formatCounters renders windowed policy counters as "name=value ...".
+func formatCounters(extras []cache.Counter) string {
+	parts := make([]string, len(extras))
+	for i, c := range extras {
+		parts[i] = fmt.Sprintf("%s=%d", c.Name, c.Value)
 	}
-	if warmup > 0 && warmup >= n {
-		return fmt.Errorf("-warmup %d consumes the whole %d-reference stream; nothing left to measure", warmup, n)
-	}
-	return nil
-}
-
-// windowStats drives sim over refs and returns the stats of the
-// measurement window refs[warmup:]: the counters are snapshotted after
-// the warmup prefix and subtracted from the final counters.
-func windowStats(sim cache.Simulator, refs []trace.Ref, warmup int) cache.Stats {
-	cache.RunRefs(sim, refs[:warmup])
-	warm := sim.Stats()
-	cache.RunRefs(sim, refs[warmup:])
-	return sim.Stats().Sub(warm)
+	return strings.Join(parts, " ")
 }
 
 // loadRefs builds the requested reference stream.

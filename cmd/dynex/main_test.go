@@ -4,99 +4,36 @@ import (
 	"testing"
 
 	"repro/internal/cache"
-	"repro/internal/core"
-	"repro/internal/trace"
-	"repro/internal/victim"
 )
 
-func TestValidateWarmup(t *testing.T) {
-	cases := []struct {
-		warmup, n int
-		ok        bool
-	}{
-		{0, 100, true},
-		{1, 100, true},
-		{99, 100, true},
-		{100, 100, false}, // consumes the whole stream
-		{101, 100, false},
-		{-1, 100, false},
-		{0, 0, true}, // no warmup requested: empty stream is the caller's problem
-	}
-	for _, c := range cases {
-		err := validateWarmup(c.warmup, c.n)
-		if (err == nil) != c.ok {
-			t.Errorf("validateWarmup(%d, %d) = %v, want ok=%v", c.warmup, c.n, err, c.ok)
-		}
+func TestFormatCounters(t *testing.T) {
+	got := formatCounters([]cache.Counter{
+		{Name: "sticky_defenses", Value: 3},
+		{Name: "lastline_hits", Value: 0},
+	})
+	if want := "sticky_defenses=3 lastline_hits=0"; got != want {
+		t.Errorf("formatCounters = %q, want %q", got, want)
 	}
 }
 
-// conflictRefs alternates two blocks that map to the same line, with a
-// distinct prefix so warmup and steady-state windows differ.
-func conflictRefs(n int) []trace.Ref {
-	refs := make([]trace.Ref, n)
-	for i := range refs {
-		if i%2 == 0 {
-			refs[i] = trace.Ref{Addr: 0}
-		} else {
-			refs[i] = trace.Ref{Addr: 64} // conflicts with 0 in a 64B cache
-		}
+func TestLoadRefsPattern(t *testing.T) {
+	refs, desc, err := loadRefs("", "within-loop", "", "instr", 0, 1<<10)
+	if err != nil {
+		t.Fatalf("loadRefs: %v", err)
 	}
-	return refs
-}
-
-// TestWindowStats checks window stats equal full-stream stats minus the
-// stats a fresh simulator accumulates over just the warmup prefix
-// (deterministic simulators make the snapshot reproducible).
-func TestWindowStats(t *testing.T) {
-	geom := cache.DM(64, 4)
-	refs := conflictRefs(200)
-	const warmup = 37
-
-	full := cache.MustDirectMapped(geom)
-	cache.RunRefs(full, refs)
-	prefix := cache.MustDirectMapped(geom)
-	cache.RunRefs(prefix, refs[:warmup])
-
-	got := windowStats(cache.MustDirectMapped(geom), refs, warmup)
-	if want := full.Stats().Sub(prefix.Stats()); got != want {
-		t.Errorf("windowStats = %+v, want %+v", got, want)
+	if len(refs) == 0 || desc == "" {
+		t.Errorf("loadRefs = %d refs, desc %q", len(refs), desc)
 	}
-	if got.Accesses != uint64(len(refs)-warmup) {
-		t.Errorf("window accesses = %d, want %d", got.Accesses, len(refs)-warmup)
+	if _, _, err := loadRefs("", "no-such-pattern", "", "instr", 0, 1<<10); err == nil {
+		t.Error("unknown pattern accepted")
 	}
 }
 
-// TestExtraStatsWindow checks the exclusion counters subtract over the
-// same window as the headline stats — the CLI's steady-state report must
-// not mix full-stream extra counters with warmup-subtracted stats.
-func TestExtraStatsWindow(t *testing.T) {
-	geom := cache.DM(64, 4)
-	refs := conflictRefs(400)
-	const warmup = 100
-
-	c := core.Must(core.Config{Geometry: geom, Store: core.NewTableStore(true)})
-	cache.RunRefs(c, refs[:warmup])
-	warmStats, warmExtra := c.Stats(), c.Extra()
-	cache.RunRefs(c, refs[warmup:])
-	winStats, winExtra := c.Stats().Sub(warmStats), c.Extra().Sub(warmExtra)
-
-	if winStats.Accesses != uint64(len(refs)-warmup) {
-		t.Fatalf("window accesses = %d", winStats.Accesses)
+func TestLoadRefsUnknownBench(t *testing.T) {
+	if _, _, err := loadRefs("nonesuch", "", "", "instr", 100, 1<<10); err == nil {
+		t.Error("unknown benchmark accepted")
 	}
-	// The alternating conflict keeps generating sticky defenses in steady
-	// state, and the warmup window had some of its own: subtraction must
-	// leave the window's share, not the full count.
-	if full := c.Extra(); warmExtra.StickyDefenses == 0 ||
-		winExtra.StickyDefenses+warmExtra.StickyDefenses != full.StickyDefenses {
-		t.Errorf("extra window %+v + warm %+v != full %+v", winExtra, warmExtra, full)
-	}
-
-	// Victim cache: same discipline for its extra counter.
-	v := victim.Must(geom, 4)
-	cache.RunRefs(v, refs[:warmup])
-	vWarm := v.Extra()
-	cache.RunRefs(v, refs[warmup:])
-	if got := v.Extra().Sub(vWarm); got.VictimHits+vWarm.VictimHits != v.Extra().VictimHits {
-		t.Errorf("victim window %+v inconsistent", got)
+	if _, _, err := loadRefs("gcc", "", "", "bogus-kind", 100, 1<<10); err == nil {
+		t.Error("unknown kind accepted")
 	}
 }

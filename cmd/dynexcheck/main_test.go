@@ -89,7 +89,7 @@ func TestList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "fsm-exhaustive", "collector-purity", "ctx-sleep", "errfmt"} {
+	for _, name := range []string{"determinism", "fsm-exhaustive", "collector-purity", "ctx-sleep", "errfmt", "registry"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output lacks %q:\n%s", name, stdout)
 		}

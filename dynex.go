@@ -41,6 +41,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/opt"
 	"repro/internal/patterns"
+	"repro/internal/policy"
 	"repro/internal/spec"
 	"repro/internal/static"
 	"repro/internal/stream"
@@ -218,6 +219,37 @@ type StreamExclusion = stream.Exclusion
 // buffer of the given depth (cfg.UseLastLine is ignored).
 func NewStreamExclusion(cfg DEConfig, depth int) (*StreamExclusion, error) {
 	return stream.NewExclusion(cfg, depth)
+}
+
+// Policy registry (internal/policy).
+
+// PolicySpec is a parsed policy specification — a named simulator
+// configuration like "dm", "de:sticky=2,store=hashed*4", or
+// "lru:ways=4". Its Build method constructs the simulator for a
+// geometry; its String method renders the canonical spec form.
+type PolicySpec = policy.Spec
+
+// ParsePolicy parses a policy spec string. PolicyNames lists every
+// accepted name.
+func ParsePolicy(s string) (PolicySpec, error) { return policy.Parse(s) }
+
+// PolicyNames returns every accepted policy name (families followed by
+// their aliases) in registry order.
+func PolicyNames() []string { return policy.Names() }
+
+// Counter is one named policy-specific statistic (sticky defenses,
+// last-line hits, ...), exposed uniformly by instrumented simulators.
+type Counter = cache.Counter
+
+// Measurement is a windowed run's result: standard stats plus the
+// policy's extra counters over the measured window.
+type Measurement = policy.Measurement
+
+// Measure runs sim over refs, discarding the first warmup references
+// from the returned measurement. It handles whole-stream policies (opt)
+// transparently; build sim with a PolicySpec.
+func Measure(sim Simulator, refs []Ref, warmup int) (Measurement, error) {
+	return policy.Window(sim, refs, warmup)
 }
 
 // Two-level hierarchy (§5; internal/hierarchy).

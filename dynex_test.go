@@ -41,6 +41,47 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestFacadePolicySpecs(t *testing.T) {
+	bench, ok := repro.Benchmark("gcc")
+	if !ok {
+		t.Fatal("gcc missing")
+	}
+	refs := bench.Instr(20_000)
+	geom := repro.DM(4<<10, 4)
+
+	sp, err := repro.ParsePolicy("de:sticky=2,store=hashed*4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.String(); got != "de:sticky=2,store=hashed*4" {
+		t.Errorf("canonical form = %q", got)
+	}
+	sim, err := sp.Build(geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := repro.Measure(sim, refs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Accesses != uint64(len(refs)-1000) {
+		t.Errorf("window accesses = %d, want %d", m.Stats.Accesses, len(refs)-1000)
+	}
+	if len(m.Extras) == 0 {
+		t.Error("dynamic exclusion reported no extra counters")
+	}
+
+	names := repro.PolicyNames()
+	if len(names) == 0 || names[0] != "dm" {
+		t.Errorf("PolicyNames() = %v", names)
+	}
+	for _, name := range names {
+		if _, err := repro.ParsePolicy(name); err != nil {
+			t.Errorf("registered name %q does not parse: %v", name, err)
+		}
+	}
+}
+
 func TestFacadePatterns(t *testing.T) {
 	geom := repro.DM(1<<10, 4)
 	refs := repro.LoopLevels(10, 10).Refs(0, geom.Size)

@@ -94,6 +94,7 @@ func Analyzers() []*Analyzer {
 		CollectorPurityAnalyzer,
 		CtxSleepAnalyzer,
 		ErrFmtAnalyzer,
+		RegistryAnalyzer,
 	}
 }
 

@@ -104,9 +104,24 @@ func TestAllowDirective(t *testing.T) {
 	wantDiags(t, checkFixture(t, "allow"), []string{
 		`p/p.go:21: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
 		`p/p.go:27: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
-		`p/p.go:32: [directive] directive allows unknown check "nosuchcheck" (known: collector-purity, ctx-sleep, determinism, errfmt, fsm-exhaustive)`,
+		`p/p.go:32: [directive] directive allows unknown check "nosuchcheck" (known: collector-purity, ctx-sleep, determinism, errfmt, fsm-exhaustive, registry)`,
 		`p/p.go:38: [directive] directive "//dynexcheck:allow" is missing a check name`,
 		`p/p.go:43: [directive] malformed directive "//dynexcheck:allowtypo x": want "//dynexcheck:allow <check> <justification>"`,
+	})
+}
+
+// TestRegistryFixture pins the registry analyzer: direct simulator
+// constructors are findings in cmd/ and internal/experiments, while
+// test files, the policy package, non-scoped packages, the allowed
+// constructors (direct-mapped, stores), and the allow directive pass.
+func TestRegistryFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "registry"), []string{
+		`cmd/tool/main.go:12: [registry] direct core.Must in cmd/tool: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked`,
+		`cmd/tool/main.go:13: [registry] direct victim.New in cmd/tool: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked`,
+		`cmd/tool/main.go:14: [registry] direct stream.NewExclusion in cmd/tool: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked`,
+		`cmd/tool/main.go:15: [registry] direct cache.MustSetAssoc in cmd/tool: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked`,
+		`internal/experiments/exp.go:14: [registry] direct core.New in internal/experiments: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked`,
+		`internal/experiments/exp.go:15: [registry] direct stream.New in internal/experiments: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked`,
 	})
 }
 

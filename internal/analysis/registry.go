@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// registryScopes are the package trees (relative to the module root)
+// that must obtain simulators through the policy registry. Experiment
+// and CLI code that constructs a simulator directly bypasses the spec
+// grammar — its configuration can no longer be named on a -policy flag,
+// compared in a sweep, or picked up by the conformance battery.
+var registryScopes = []string{
+	"cmd",
+	"internal/experiments",
+}
+
+// registryBanned maps the simulator packages (relative to the module
+// root) to their banned direct constructors. cache.NewDirectMapped and
+// the store constructors are deliberately absent: geometry and store
+// values are plain data, and the registry itself composes them.
+var registryBanned = map[string][]string{
+	"internal/core":   {"New", "Must"},
+	"internal/victim": {"New", "Must"},
+	"internal/stream": {"New", "Must", "NewExclusion", "MustExclusion"},
+	"internal/cache":  {"NewSetAssoc", "MustSetAssoc"},
+}
+
+// RegistryAnalyzer bans direct simulator construction in cmd/ and
+// internal/experiments: those layers must build simulators from policy
+// specs so every configuration they use is expressible, sweepable, and
+// conformance-checked through the registry.
+var RegistryAnalyzer = &Analyzer{
+	Name: "registry",
+	Doc:  "ban direct simulator constructors in cmd/ and experiments; build from policy specs",
+	Run:  runRegistry,
+}
+
+func runRegistry(pass *Pass) {
+	rel := pass.RelImportPath()
+	inScope := false
+	for _, scope := range registryScopes {
+		if rel == scope || strings.HasPrefix(rel, scope+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Tests may hand-construct simulators to cross-check the registry.
+		name := pass.Module.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkgRel, ok := strings.CutPrefix(fn.Pkg().Path(), pass.Module.Path+"/")
+			if !ok {
+				return true
+			}
+			for _, banned := range registryBanned[pkgRel] {
+				if isPkgFunc(fn, fn.Pkg().Path(), banned) {
+					short := pkgRel[strings.LastIndex(pkgRel, "/")+1:]
+					pass.Reportf(call.Pos(),
+						"direct %s.%s in %s: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked",
+						short, banned, rel)
+				}
+			}
+			return true
+		})
+	}
+}

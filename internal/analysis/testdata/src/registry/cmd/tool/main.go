@@ -1,0 +1,21 @@
+// Package main is a registry fixture: a CLI constructing simulators.
+package main
+
+import (
+	"fix/internal/cache"
+	"fix/internal/core"
+	"fix/internal/stream"
+	"fix/internal/victim"
+)
+
+func main() {
+	c := core.Must()                // finding
+	v, _ := victim.New(4)           // finding
+	s, _ := stream.NewExclusion(2)  // finding
+	a := cache.MustSetAssoc(2)      // finding
+	d, _ := cache.NewDirectMapped() // allowed: not a registry bypass
+	_ = core.NewTableStore(true)    // allowed: stores are plain data
+	//dynexcheck:allow registry audited legacy path kept for the L2 flag
+	w := victim.Must(8) // suppressed by the directive above
+	_, _, _, _, _, _ = c, v, s, a, d, w
+}

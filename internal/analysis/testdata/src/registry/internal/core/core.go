@@ -1,0 +1,14 @@
+// Package core mirrors the dynamic-exclusion core's constructors.
+package core
+
+// Cache stands in for the DE simulator.
+type Cache struct{}
+
+// New is banned in cmd/ and experiments.
+func New() (*Cache, error) { return &Cache{}, nil }
+
+// Must is banned in cmd/ and experiments.
+func Must() *Cache { return &Cache{} }
+
+// NewTableStore stays allowed: stores are plain data.
+func NewTableStore(def bool) int { return 0 }

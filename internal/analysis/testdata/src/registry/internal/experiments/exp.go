@@ -1,0 +1,18 @@
+// Package experiments is a registry fixture: figure code must go
+// through policy specs.
+package experiments
+
+import (
+	"fix/internal/core"
+	"fix/internal/policy"
+	"fix/internal/stream"
+)
+
+// Fig builds one simulator directly (finding) and one via the
+// sanctioned path (clean).
+func Fig() {
+	de, _ := core.New()    // finding
+	st, _ := stream.New(4) // finding
+	c, v := policy.Build() // allowed: the registry is the sanctioned path
+	_, _, _, _ = de, st, c, v
+}

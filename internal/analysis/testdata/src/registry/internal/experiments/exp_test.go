@@ -1,0 +1,7 @@
+package experiments
+
+import "fix/internal/core"
+
+// Tests may hand-construct simulators to cross-check the registry, so
+// this call is clean.
+func helperForTests() *core.Cache { return core.Must() }

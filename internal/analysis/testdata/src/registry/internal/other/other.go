@@ -1,0 +1,8 @@
+// Package other is outside the registry scope: direct construction is
+// fine in simulator-internal helper packages.
+package other
+
+import "fix/internal/stream"
+
+// Mk builds directly; no finding outside cmd/ and experiments.
+func Mk() *stream.Cache { return stream.MustExclusion(2) }

@@ -1,0 +1,15 @@
+// Package policy is the sanctioned construction path; it may call the
+// banned constructors freely (it is outside the scoped trees).
+package policy
+
+import (
+	"fix/internal/core"
+	"fix/internal/victim"
+)
+
+// Build composes simulators from the raw constructors.
+func Build() (*core.Cache, *victim.Cache) {
+	c := core.Must()
+	v := victim.Must(4)
+	return c, v
+}

@@ -1,0 +1,14 @@
+// Package stream mirrors the stream-buffer constructors.
+package stream
+
+// Cache stands in for the stream-buffer simulator.
+type Cache struct{}
+
+// New is banned in cmd/ and experiments.
+func New(depth int) (*Cache, error) { return &Cache{}, nil }
+
+// NewExclusion is banned in cmd/ and experiments.
+func NewExclusion(depth int) (*Cache, error) { return &Cache{}, nil }
+
+// MustExclusion is banned in cmd/ and experiments.
+func MustExclusion(depth int) *Cache { return &Cache{} }

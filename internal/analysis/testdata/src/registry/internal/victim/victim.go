@@ -1,0 +1,11 @@
+// Package victim mirrors the victim-cache constructors.
+package victim
+
+// Cache stands in for the victim simulator.
+type Cache struct{}
+
+// New is banned in cmd/ and experiments.
+func New(entries int) (*Cache, error) { return &Cache{}, nil }
+
+// Must is banned in cmd/ and experiments.
+func Must(entries int) *Cache { return &Cache{} }

@@ -116,3 +116,52 @@ type Simulator interface {
 	Access(addr uint64) Result
 	Stats() Stats
 }
+
+// Counter is one named policy-specific event count beyond Stats — a
+// sticky defense, a victim-buffer hit, a stream-buffer fill. Every
+// simulator that has such counters exposes them through Instrumented in a
+// uniform shape, so CLIs and the policy.Window runner report and
+// window-subtract them without knowing the concrete policy.
+type Counter struct {
+	// Name identifies the counter ("sticky_defenses", "victim_hits", ...).
+	Name string
+	// Value is the accumulated count.
+	Value uint64
+}
+
+// Instrumented is a Simulator with policy-specific counters. Extras must
+// return a fresh slice in a fixed order with fixed names, so a snapshot
+// taken after warmup can be subtracted from the final counters with
+// SubCounters.
+type Instrumented interface {
+	Simulator
+	// Extras returns a snapshot of the policy-specific counters.
+	Extras() []Counter
+}
+
+// SnapshotExtras returns sim's extra counters if it is Instrumented, nil
+// otherwise.
+func SnapshotExtras(sim Simulator) []Counter {
+	if in, ok := sim.(Instrumented); ok {
+		return in.Extras()
+	}
+	return nil
+}
+
+// SubCounters returns now - earlier element-wise, the counters' analogue
+// of Stats.Sub for measuring a steady-state window. Both slices must come
+// from the same simulator's Extras (same length, names, and order); it
+// panics on a mismatch, which is a programming error, not a data error.
+func SubCounters(now, earlier []Counter) []Counter {
+	if len(now) != len(earlier) {
+		panic(fmt.Sprintf("cache: SubCounters over mismatched snapshots (%d vs %d counters)", len(now), len(earlier)))
+	}
+	out := make([]Counter, len(now))
+	for i := range now {
+		if now[i].Name != earlier[i].Name {
+			panic(fmt.Sprintf("cache: SubCounters name mismatch at %d: %q vs %q", i, now[i].Name, earlier[i].Name))
+		}
+		out[i] = Counter{Name: now[i].Name, Value: now[i].Value - earlier[i].Value}
+	}
+	return out
+}

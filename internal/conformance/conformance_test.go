@@ -37,3 +37,15 @@ func TestCheckAcceptsAKnownGoodSimulator(t *testing.T) {
 	Check(t, "dm", Options{EventualHit: true, Streams: 2, Refs: 500},
 		func() cache.Simulator { return cache.MustDirectMapped(cache.DM(1<<12, 16)) })
 }
+
+// TestRegistryConformance drives every registered policy family through
+// the battery at two geometries (one-word and multi-word lines), so a
+// family added to the registry is conformance-checked automatically.
+func TestRegistryConformance(t *testing.T) {
+	for _, geom := range []cache.Geometry{cache.DM(1<<13, 4), cache.DM(1<<12, 16)} {
+		geom := geom
+		t.Run(geom.String(), func(t *testing.T) {
+			CheckRegistry(t, geom, Options{Streams: 3, Refs: 2000})
+		})
+	}
+}

@@ -106,7 +106,11 @@ type Cache struct {
 	lastValid bool
 
 	stats cache.Stats
-	ext   ExtraStats
+
+	// Policy-specific event counters, exposed uniformly via Extras.
+	lastLineHits     uint64
+	stickyDefenses   uint64
+	hitLastOverrides uint64
 
 	// OnEvict, if non-nil, receives every evicted block with its written-
 	// back hit-last bit. Hierarchies use it to spill L1 victims (and
@@ -115,30 +119,6 @@ type Cache struct {
 	// OnExclude, if non-nil, receives every excluded (bypassed) block.
 	// Hierarchies use it to place bypassed lines in L2.
 	OnExclude func(block uint64)
-}
-
-// ExtraStats counts dynamic-exclusion-specific events beyond cache.Stats.
-type ExtraStats struct {
-	// LastLineHits counts hits served by the last-line buffer.
-	LastLineHits uint64
-	// StickyDefenses counts conflicting references excluded because the
-	// resident was sticky.
-	StickyDefenses uint64
-	// HitLastOverrides counts replacements forced by the challenger's
-	// hit-last bit despite a sticky resident.
-	HitLastOverrides uint64
-}
-
-// Sub returns the difference e - earlier. Like cache.Stats.Sub it
-// measures a steady-state window: snapshot the counters after warmup and
-// subtract the snapshot from the final counters, so the exclusion
-// counters cover the same window as the warmup-subtracted Stats.
-func (e ExtraStats) Sub(earlier ExtraStats) ExtraStats {
-	return ExtraStats{
-		LastLineHits:     e.LastLineHits - earlier.LastLineHits,
-		StickyDefenses:   e.StickyDefenses - earlier.StickyDefenses,
-		HitLastOverrides: e.HitLastOverrides - earlier.HitLastOverrides,
-	}
 }
 
 // New returns a dynamic exclusion cache.
@@ -189,7 +169,7 @@ func (c *Cache) Access(addr uint64) cache.Result {
 	if c.lastLine {
 		if c.lastValid && c.lastTag == block {
 			c.stats.Record(cache.Hit, false)
-			c.ext.LastLineHits++
+			c.lastLineHits++
 			return cache.Hit
 		}
 		c.lastTag = block
@@ -218,7 +198,7 @@ func (c *Cache) Access(addr uint64) cache.Result {
 	if c.sticky[set] >= cost {
 		// The resident defends itself; y is excluded.
 		c.sticky[set] -= cost
-		c.ext.StickyDefenses++
+		c.stickyDefenses++
 		if c.OnExclude != nil {
 			c.OnExclude(block)
 		}
@@ -233,7 +213,7 @@ func (c *Cache) Access(addr uint64) cache.Result {
 	// starts with the flag clear and must prove itself by hitting.
 	wasSticky := c.sticky[set] > 0
 	if wasSticky {
-		c.ext.HitLastOverrides++
+		c.hitLastOverrides++
 	}
 	c.evict(set)
 	c.fill(set, block, !wasSticky)
@@ -278,8 +258,18 @@ func (c *Cache) Sticky(addr uint64) int {
 // Stats returns the accumulated counters.
 func (c *Cache) Stats() cache.Stats { return c.stats }
 
-// Extra returns dynamic-exclusion-specific counters.
-func (c *Cache) Extra() ExtraStats { return c.ext }
+// Extras returns the dynamic-exclusion event counters in the uniform
+// cache.Counter shape: sticky defenses (conflicting references excluded
+// because the resident was sticky), hit-last overrides (replacements
+// forced by the challenger's hit-last bit despite a sticky resident), and
+// last-line hits (hits served by the §6 buffer).
+func (c *Cache) Extras() []cache.Counter {
+	return []cache.Counter{
+		{Name: "sticky_defenses", Value: c.stickyDefenses},
+		{Name: "hitlast_overrides", Value: c.hitLastOverrides},
+		{Name: "lastline_hits", Value: c.lastLineHits},
+	}
+}
 
 // Geometry returns the cache's shape.
 func (c *Cache) Geometry() cache.Geometry { return c.geom }
@@ -295,5 +285,5 @@ func (c *Cache) Reset() {
 	}
 	c.lastValid = false
 	c.stats = cache.Stats{}
-	c.ext = ExtraStats{}
+	c.lastLineHits, c.stickyDefenses, c.hitLastOverrides = 0, 0, 0
 }

@@ -17,6 +17,18 @@ func newDE(t *testing.T, size, line uint64, def bool) *Cache {
 	})
 }
 
+// extra returns the named Extras counter, failing on an unknown name.
+func extra(t *testing.T, c *Cache, name string) uint64 {
+	t.Helper()
+	for _, ctr := range c.Extras() {
+		if ctr.Name == name {
+			return ctr.Value
+		}
+	}
+	t.Fatalf("no extras counter %q in %+v", name, c.Extras())
+	return 0
+}
+
 func runPattern(c *Cache, spec patterns.Spec, cacheSize uint64) cache.Stats {
 	for _, r := range spec.Refs(0, cacheSize) {
 		c.Access(r.Addr)
@@ -177,8 +189,8 @@ func TestHitLastOverridesSticky(t *testing.T) {
 	if got := c.Access(64); got != cache.MissFill {
 		t.Errorf("hit-last challenger = %v, want fill", got)
 	}
-	if c.Extra().HitLastOverrides != 1 {
-		t.Errorf("HitLastOverrides = %d, want 1", c.Extra().HitLastOverrides)
+	if got := extra(t, c, "hitlast_overrides"); got != 1 {
+		t.Errorf("hitlast_overrides = %d, want 1", got)
 	}
 }
 
@@ -253,8 +265,8 @@ func TestLastLineBufferServesSequentialRefs(t *testing.T) {
 	if s.Misses != 1 || s.Hits != 3 {
 		t.Errorf("stats = %+v, want 1 miss 3 hits", s)
 	}
-	if c.Extra().LastLineHits != 3 {
-		t.Errorf("LastLineHits = %d, want 3", c.Extra().LastLineHits)
+	if got := extra(t, c, "lastline_hits"); got != 3 {
+		t.Errorf("lastline_hits = %d, want 3", got)
 	}
 }
 
@@ -362,8 +374,8 @@ func TestStickyDefensesCounter(t *testing.T) {
 	c := newDE(t, 64, 4, false)
 	c.Access(0)
 	c.Access(64)
-	if c.Extra().StickyDefenses != 1 {
-		t.Errorf("StickyDefenses = %d, want 1", c.Extra().StickyDefenses)
+	if got := extra(t, c, "sticky_defenses"); got != 1 {
+		t.Errorf("sticky_defenses = %d, want 1", got)
 	}
 }
 
@@ -379,15 +391,24 @@ func TestDriveWithTraceReader(t *testing.T) {
 	}
 }
 
-func TestExtraStatsSub(t *testing.T) {
-	later := ExtraStats{LastLineHits: 10, StickyDefenses: 7, HitLastOverrides: 5}
-	earlier := ExtraStats{LastLineHits: 4, StickyDefenses: 2, HitLastOverrides: 5}
-	got := later.Sub(earlier)
-	want := ExtraStats{LastLineHits: 6, StickyDefenses: 5, HitLastOverrides: 0}
-	if got != want {
-		t.Errorf("Sub = %+v, want %+v", got, want)
+func TestExtrasWindowSub(t *testing.T) {
+	// The Extras counters support the warmup-snapshot dance: snapshot
+	// mid-run, subtract at the end, and only the window's events remain.
+	c := newDE(t, 64, 4, false)
+	c.Access(0)  // fill, flag=1
+	c.Access(64) // sticky defense
+	snap := c.Extras()
+	c.Access(64) // non-sticky replace; h[0] written back as 1
+	c.Access(0)  // hit-last override of the sticky resident
+	diff := cache.SubCounters(c.Extras(), snap)
+	want := []cache.Counter{
+		{Name: "sticky_defenses", Value: 0},
+		{Name: "hitlast_overrides", Value: 1},
+		{Name: "lastline_hits", Value: 0},
 	}
-	if diff := later.Sub(ExtraStats{}); diff != later {
-		t.Errorf("Sub(zero) = %+v, want %+v", diff, later)
+	for i, w := range want {
+		if diff[i] != w {
+			t.Errorf("windowed extras[%d] = %+v, want %+v", i, diff[i], w)
+		}
 	}
 }

@@ -5,13 +5,11 @@ import (
 	"strings"
 
 	"repro/internal/cache"
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/patterns"
-	"repro/internal/stream"
+	"repro/internal/policy"
 	"repro/internal/table"
 	"repro/internal/trace"
-	"repro/internal/victim"
 )
 
 // AblationsResult bundles the design-choice studies DESIGN.md calls out:
@@ -40,12 +38,12 @@ func Ablations(w *Workloads) AblationsResult {
 }
 
 // suiteAvg runs a fresh simulator per benchmark (concurrently) and
-// averages miss rates.
-func suiteAvg(w *Workloads, kind kindOf, mk func() cache.Simulator) float64 {
+// averages miss rates. Configurations are policy specs, so the ablation
+// tables read as the exact strings a -policies flag would take.
+func suiteAvg(w *Workloads, kind kindOf, specStr string, geom cache.Geometry) float64 {
+	sp := policy.MustParse(specStr)
 	rates := suiteRates(w, kind, func(refs []trace.Ref) float64 {
-		sim := mk()
-		cache.RunRefs(sim, refs)
-		return sim.Stats().MissRate()
+		return specRate(sp, refs, geom)
 	})
 	return metrics.Mean(rates)
 }
@@ -58,15 +56,12 @@ func ablateSticky(w *Workloads) *table.Table {
 		"config", "suite avg miss", "(abc)^50 miss")
 	three := patterns.ThreeWay(50).Refs(0, ablGeom.Size)
 	for _, k := range []int{1, 2, 4, 8} {
-		mk := func() cache.Simulator {
-			return core.Must(core.Config{Geometry: ablGeom, Store: core.NewTableStore(true), StickyMax: k})
-		}
-		avg := suiteAvg(w, instrKind, mk)
-		pat := mk()
-		cache.RunRefs(pat, three)
-		t.AddRow(fmt.Sprintf("sticky=%d", k), metrics.Pct(avg, 3), metrics.Pct(pat.Stats().MissRate(), 1))
+		specStr := fmt.Sprintf("de:sticky=%d", k)
+		avg := suiteAvg(w, instrKind, specStr, ablGeom)
+		pat := specRate(policy.MustParse(specStr), three, ablGeom)
+		t.AddRow(fmt.Sprintf("sticky=%d", k), metrics.Pct(avg, 3), metrics.Pct(pat, 1))
 	}
-	dm := suiteAvg(w, instrKind, func() cache.Simulator { return cache.MustDirectMapped(ablGeom) })
+	dm := suiteAvg(w, instrKind, "dm", ablGeom)
 	t.AddRow("direct-mapped", metrics.Pct(dm, 3), "100.0%")
 	t.AddNote("paper §4: extra sticky bits fix (abc)^N but give mixed results overall")
 	return t
@@ -78,15 +73,10 @@ func ablateHashed(w *Workloads) *table.Table {
 	t := table.New("Ablation — hashed hit-last bits per cache line (S=8KB, b=4B)",
 		"store", "suite avg miss")
 	for _, bitsPerLine := range []int{1, 2, 4, 8, 16} {
-		entries := int(ablGeom.Lines()) * bitsPerLine
-		avg := suiteAvg(w, instrKind, func() cache.Simulator {
-			return core.Must(core.Config{Geometry: ablGeom, Store: core.MustHashedStore(entries, true)})
-		})
+		avg := suiteAvg(w, instrKind, fmt.Sprintf("de:store=hashed*%d", bitsPerLine), ablGeom)
 		t.AddRow(fmt.Sprintf("hashed %d bits/line", bitsPerLine), metrics.Pct(avg, 3))
 	}
-	ideal := suiteAvg(w, instrKind, func() cache.Simulator {
-		return core.Must(core.Config{Geometry: ablGeom, Store: core.NewTableStore(true)})
-	})
+	ideal := suiteAvg(w, instrKind, "de", ablGeom)
 	t.AddRow("ideal table", metrics.Pct(ideal, 3))
 	return t
 }
@@ -98,13 +88,9 @@ func ablateColdStart(w *Workloads) *table.Table {
 		"cache size", "assume-miss", "assume-hit", "direct-mapped")
 	for _, size := range []uint64{8 << 10, 32 << 10} {
 		geom := cache.DM(size, 4)
-		miss := suiteAvg(w, instrKind, func() cache.Simulator {
-			return core.Must(core.Config{Geometry: geom, Store: core.NewTableStore(false)})
-		})
-		hit := suiteAvg(w, instrKind, func() cache.Simulator {
-			return core.Must(core.Config{Geometry: geom, Store: core.NewTableStore(true)})
-		})
-		dm := suiteAvg(w, instrKind, func() cache.Simulator { return cache.MustDirectMapped(geom) })
+		miss := suiteAvg(w, instrKind, "de:cold=miss", geom)
+		hit := suiteAvg(w, instrKind, "de", geom)
+		dm := suiteAvg(w, instrKind, "dm", geom)
 		t.AddRow(kbLabel(float64(size)/1024), metrics.Pct(miss, 3), metrics.Pct(hit, 3), metrics.Pct(dm, 3))
 	}
 	t.AddNote("assume-miss can double first-touch misses of fresh loops (the paper's nasa7/tomcatv effect)")
@@ -121,12 +107,10 @@ func ablateVictim(w *Workloads) *table.Table {
 		name string
 		get  kindOf
 	}{{"instructions", instrKind}, {"data", dataKind}} {
-		dm := suiteAvg(w, kind.get, func() cache.Simulator { return cache.MustDirectMapped(ablGeom) })
-		v4 := suiteAvg(w, kind.get, func() cache.Simulator { return victim.Must(ablGeom, 4) })
-		v8 := suiteAvg(w, kind.get, func() cache.Simulator { return victim.Must(ablGeom, 8) })
-		de := suiteAvg(w, kind.get, func() cache.Simulator {
-			return core.Must(core.Config{Geometry: ablGeom, Store: core.NewTableStore(true)})
-		})
+		dm := suiteAvg(w, kind.get, "dm", ablGeom)
+		v4 := suiteAvg(w, kind.get, "victim", ablGeom)
+		v8 := suiteAvg(w, kind.get, "victim:entries=8", ablGeom)
+		de := suiteAvg(w, kind.get, "de", ablGeom)
 		t.AddRow(kind.name, metrics.Pct(dm, 3), metrics.Pct(v4, 3), metrics.Pct(v8, 3), metrics.Pct(de, 3))
 	}
 	return t
@@ -139,16 +123,12 @@ func ablateLastLine(w *Workloads) *table.Table {
 	geom := cache.DM(32<<10, 16)
 	t := table.New("Ablation — §6 line-buffer alternatives at b=16B (S=32KB)",
 		"config", "suite avg miss")
-	with := suiteAvg(w, instrKind, func() cache.Simulator {
-		return core.Must(core.Config{Geometry: geom, Store: core.NewTableStore(true), UseLastLine: true})
-	})
-	without := suiteAvg(w, instrKind, func() cache.Simulator {
-		return core.Must(core.Config{Geometry: geom, Store: core.NewTableStore(true)})
-	})
-	streamed := suiteAvg(w, instrKind, func() cache.Simulator {
-		return stream.MustExclusion(core.Config{Geometry: geom, Store: core.NewTableStore(true)}, 4)
-	})
-	dm := suiteAvg(w, instrKind, func() cache.Simulator { return cache.MustDirectMapped(geom) })
+	// At 16-byte lines the bare "de" spec auto-enables the buffer, so the
+	// no-buffer arm must say nolastline explicitly.
+	with := suiteAvg(w, instrKind, "de:lastline", geom)
+	without := suiteAvg(w, instrKind, "de:nolastline", geom)
+	streamed := suiteAvg(w, instrKind, "de-stream", geom)
+	dm := suiteAvg(w, instrKind, "dm", geom)
 	t.AddRow("DE without buffer", metrics.Pct(without, 3))
 	t.AddRow("DE + last-line register", metrics.Pct(with, 3))
 	t.AddRow("DE + stream buffer (depth 4)", metrics.Pct(streamed, 3))

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/table"
 	"repro/internal/trace"
 )
@@ -21,6 +22,7 @@ type AssocResult struct {
 // Assoc runs the associativity comparison over the standard size axis at
 // 4-byte lines.
 func Assoc(w *Workloads) AssocResult {
+	lru2, lru4 := policy.MustParse("lru:ways=2"), policy.MustParse("lru:ways=4")
 	var res AssocResult
 	res.DM.Name, res.DE.Name = "direct-mapped", "dynamic exclusion"
 	res.LRU2.Name, res.LRU4.Name = "2-way LRU", "4-way LRU"
@@ -32,16 +34,8 @@ func Assoc(w *Workloads) AssocResult {
 			geom := cache.DM(size, 4)
 			dms[i] = dmRate(refs, geom)
 			des[i] = deRate(refs, geom, false)
-			for _, ways := range []int{2, 4} {
-				g := cache.Geometry{Size: size, LineSize: 4, Ways: ways}
-				c := cache.MustSetAssoc(g, cache.LRU, 1)
-				cache.RunRefs(c, refs)
-				if ways == 2 {
-					l2s[i] = c.Stats().MissRate()
-				} else {
-					l4s[i] = c.Stats().MissRate()
-				}
-			}
+			l2s[i] = specRate(lru2, refs, geom)
+			l4s[i] = specRate(lru4, refs, geom)
 		})
 		x := float64(size) / 1024
 		res.DM.Points = append(res.DM.Points, metrics.Point{X: x, Y: 100 * metrics.Mean(dms)})

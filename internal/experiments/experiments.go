@@ -15,10 +15,9 @@ import (
 	"time"
 
 	"repro/internal/cache"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metrics"
-	"repro/internal/opt"
+	"repro/internal/policy"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -177,27 +176,34 @@ func (w *Workloads) Release() {
 // configuration of Figures 3–5: an unbounded hit-last table with assume-
 // hit cold start (§5 shows assume-hit is the best realizable default).
 
+// specRate builds the spec's simulator for geom and returns its
+// full-stream miss rate. Experiments panic on build errors: every spec
+// here is a literal, so a failure is a programming error.
+func specRate(sp policy.Spec, refs []trace.Ref, geom cache.Geometry) float64 {
+	sim, err := sp.Build(geom)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	m, err := policy.Window(sim, refs, 0)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return m.Stats.MissRate()
+}
+
 // dmRate runs a conventional direct-mapped cache.
 func dmRate(refs []trace.Ref, geom cache.Geometry) float64 {
-	c := cache.MustDirectMapped(geom)
-	cache.RunRefs(c, refs)
-	return c.Stats().MissRate()
+	return specRate(policy.MustParse("dm"), refs, geom)
 }
 
 // deRate runs dynamic exclusion (ideal table, assume-hit default).
 func deRate(refs []trace.Ref, geom cache.Geometry, lastLine bool) float64 {
-	c := core.Must(core.Config{
-		Geometry:    geom,
-		Store:       core.NewTableStore(true),
-		UseLastLine: lastLine,
-	})
-	cache.RunRefs(c, refs)
-	return c.Stats().MissRate()
+	return specRate(policy.MustParse("de").WithLastLine(lastLine), refs, geom)
 }
 
 // optRate runs the optimal direct-mapped cache with bypass.
 func optRate(refs []trace.Ref, geom cache.Geometry, lastLine bool) float64 {
-	return opt.SimulateDM(refs, geom, lastLine).MissRate()
+	return specRate(policy.MustParse("opt").WithLastLine(lastLine), refs, geom)
 }
 
 // kindOf selects a stream from the workload cache.
@@ -247,19 +253,24 @@ func suiteRates(w *Workloads, kind kindOf, rate func(refs []trace.Ref) float64) 
 }
 
 // sweepPolicies is the cell layout of sweepAverages: the three simulated
-// policies of the single-level figures, in column order.
+// policies of the single-level figures, in column order, built from
+// registry specs.
 func sweepPolicies(lastLine bool) []engine.Cell {
-	return []engine.Cell{
-		{Label: "dm", Policy: func(g cache.Geometry) (cache.Simulator, error) {
-			return cache.NewDirectMapped(g)
-		}},
-		{Label: "de", Policy: func(g cache.Geometry) (cache.Simulator, error) {
-			return core.New(core.Config{Geometry: g, Store: core.NewTableStore(true), UseLastLine: lastLine})
-		}},
-		{Label: "opt", Direct: func(refs []trace.Ref, g cache.Geometry) (cache.Stats, error) {
-			return opt.SimulateDM(refs, g, lastLine), nil
-		}},
+	specs := []struct {
+		label string
+		spec  policy.Spec
+	}{
+		{"dm", policy.MustParse("dm")},
+		{"de", policy.MustParse("de").WithLastLine(lastLine)},
+		{"opt", policy.MustParse("opt").WithLastLine(lastLine)},
 	}
+	cells := make([]engine.Cell, len(specs))
+	for i, s := range specs {
+		c := s.spec.Cell()
+		c.Label = s.label
+		cells[i] = c
+	}
+	return cells
 }
 
 // sweepAverages computes suite-average miss-rate curves for the three

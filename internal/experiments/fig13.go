@@ -6,8 +6,8 @@ import (
 	"strings"
 
 	"repro/internal/cache"
-	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/table"
 )
 
@@ -32,18 +32,13 @@ var fig13Base = cache.DM(8<<10, 16)
 // Fig13 reproduces the Figure 13 efficiency table.
 func Fig13(w *Workloads) Fig13Result {
 	big := cache.DM(16<<10, 16)
+	deSpec := policy.MustParse("de:store=hashed*4,lastline")
 	var base, de, dbl []float64
 	for _, name := range w.Names() {
 		refs := w.Instr(name)
 		base = append(base, dmRate(refs, fig13Base))
 		dbl = append(dbl, dmRate(refs, big))
-		c := core.Must(core.Config{
-			Geometry:    fig13Base,
-			Store:       core.MustHashedStore(int(fig13Base.Lines())*4, true),
-			UseLastLine: true,
-		})
-		cache.RunRefs(c, refs)
-		de = append(de, c.Stats().MissRate())
+		de = append(de, specRate(deSpec, refs, fig13Base))
 	}
 	r := Fig13Result{
 		BaseDM: metrics.Mean(base),

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenIDs is the subset of experiments pinned byte-for-byte by the
+// golden file: the single-level studies touched by the policy-registry
+// refactor. The file was generated before the refactor, so a clean diff
+// here proves the spec-built simulators reproduce the hand-built ones.
+var goldenIDs = []string{"sec3", "fig03", "fig11", "fig13", "ablations", "writes"}
+
+// TestGoldenSmall pins the rendered output of the golden experiments at
+// a reduced reference count against testdata/golden_small.txt.
+func TestGoldenSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run is slow")
+	}
+	want, err := os.ReadFile("testdata/golden_small.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkloads(Config{Refs: 60_000})
+	var b strings.Builder
+	for _, id := range goldenIDs {
+		r, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		fmt.Fprintf(&b, "== %s ==\n%s\n", id, r.Run(w).String())
+	}
+	if got := b.String(); got != string(want) {
+		t.Errorf("golden output drifted from testdata/golden_small.txt\n"+
+			"got %d bytes, want %d; first divergence at byte %d",
+			len(got), len(want), firstDiff(got, string(want)))
+		t.Logf("got:\n%s", got)
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

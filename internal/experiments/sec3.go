@@ -4,10 +4,9 @@ import (
 	"strings"
 
 	"repro/internal/cache"
-	"repro/internal/core"
 	"repro/internal/metrics"
-	"repro/internal/opt"
 	"repro/internal/patterns"
+	"repro/internal/policy"
 	"repro/internal/table"
 )
 
@@ -41,20 +40,17 @@ func Sec3() Sec3Result {
 		{patterns.WithinLoop(10), patterns.WithinLoopDM(10), patterns.WithinLoopOPT(10)},
 		{patterns.ThreeWay(10), patterns.ThreeWayDM(10), patterns.ThreeWayOPT(10)},
 	}
+	deSpec := policy.MustParse("de:cold=miss")
 	var res Sec3Result
 	for _, c := range cases {
 		refs := c.spec.Refs(0, size)
-		dm := cache.MustDirectMapped(geom)
-		cache.RunRefs(dm, refs)
-		de := core.Must(core.Config{Geometry: geom, Store: core.NewTableStore(false)})
-		cache.RunRefs(de, refs)
 		res.Rows = append(res.Rows, Sec3Row{
 			Pattern:    c.spec.Name,
 			AnalyticDM: c.analyticDM,
 			AnalyticOP: c.analyticOP,
-			SimDM:      dm.Stats().MissRate(),
-			SimDE:      de.Stats().MissRate(),
-			SimOP:      opt.SimulateDM(refs, geom, false).MissRate(),
+			SimDM:      dmRate(refs, geom),
+			SimDE:      specRate(deSpec, refs, geom),
+			SimOP:      optRate(refs, geom, false),
 		})
 	}
 	return res

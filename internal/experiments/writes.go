@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/table"
 	"repro/internal/trace"
 	"repro/internal/writepolicy"
@@ -53,7 +54,7 @@ func Writes(w *Workloads) WritesResult {
 			return c
 		}},
 		{"dynamic excl, write-back", func() *writepolicy.Cache {
-			de := core.Must(core.Config{Geometry: ablGeom, Store: core.NewTableStore(true)})
+			de := policy.MustBuild("de", ablGeom).(*core.Cache)
 			c, err := writepolicy.WrapDE(de, writepolicy.WriteBack)
 			if err != nil {
 				panic(err)

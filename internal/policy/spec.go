@@ -1,0 +1,351 @@
+// Package policy is the single declarative path from a policy
+// specification string to a runnable cache simulator. Every consumer —
+// cmd/dynex's -policy flag, cmd/dynex-sweep's -policies grid,
+// internal/experiments' figure and ablation tables, and the conformance
+// suite — builds simulators through this package, so registering a
+// family here makes it available everywhere at once.
+//
+// A spec is a family name plus comma-separated options:
+//
+//	dm
+//	de:sticky=2,store=hashed*4,lastline
+//	de-stream:depth=4
+//	opt
+//	lru:ways=4
+//	fifo:ways=2
+//	victim:entries=8
+//	stream:depth=4
+//
+// Parse and Spec.String round-trip: String renders the canonical form
+// (alias-free, defaults omitted, options in a fixed order), and parsing
+// the canonical form yields the same Spec. Legacy policy names from
+// before the spec grammar (de-hashed, lru2, lru4, fifo2) are accepted as
+// aliases and may carry further options ("de-hashed:lastline").
+//
+// The de and opt families' last-line buffer is tri-state: "lastline"
+// forces it on, "nolastline" off, and the default ("auto") enables it
+// whenever the geometry's line size exceeds one 4-byte instruction —
+// matching what the sweep grid has always done.
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// lastLineMode is the tri-state §6 last-line buffer option.
+type lastLineMode uint8
+
+const (
+	// lastLineAuto enables the buffer iff the geometry's LineSize > 4.
+	lastLineAuto lastLineMode = iota
+	lastLineOn
+	lastLineOff
+)
+
+// Spec is one parsed policy specification. The zero value is invalid;
+// obtain Specs through Parse.
+type Spec struct {
+	family string
+
+	sticky   int          // de, de-stream: sticky levels
+	hashed   bool         // de, de-stream: hashed (vs ideal table) hit-last store
+	bits     int          // de, de-stream: hashed hit-last bits per cache line
+	coldMiss bool         // de, de-stream: assume-miss cold start
+	lastLine lastLineMode // de, opt: §6 last-line buffer
+	ways     int          // lru, fifo: associativity
+	entries  int          // victim: buffer entries
+	depth    int          // stream, de-stream: prefetch buffer depth
+}
+
+// Family returns the spec's family name ("dm", "de", ...), never an
+// alias.
+func (s Spec) Family() string { return s.family }
+
+// alias is a legacy policy name expanding to a family with preset
+// options.
+type alias struct {
+	family string
+	opts   string
+}
+
+// aliases maps the pre-spec policy names onto their canonical families.
+var aliases = map[string]alias{
+	"de-hashed": {"de", "store=hashed*4"},
+	"lru2":      {"lru", "ways=2"},
+	"lru4":      {"lru", "ways=4"},
+	"fifo2":     {"fifo", "ways=2"},
+}
+
+// defaultSpec returns the family's spec with every option at its
+// default.
+func defaultSpec(family string) Spec {
+	sp := Spec{family: family}
+	switch family {
+	case "de":
+		sp.sticky = 1
+	case "de-stream":
+		sp.sticky = 1
+		sp.depth = 4
+	case "lru", "fifo":
+		sp.ways = 2
+	case "victim":
+		sp.entries = 4
+	case "stream":
+		sp.depth = 4
+	}
+	return sp
+}
+
+// Parse decodes a policy spec string.
+func Parse(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, fmt.Errorf("policy: empty spec")
+	}
+	head, opts, hasOpts := strings.Cut(s, ":")
+	if a, ok := aliases[head]; ok {
+		head = a.family
+		if hasOpts {
+			opts = a.opts + "," + opts
+		} else {
+			opts, hasOpts = a.opts, true
+		}
+	}
+	fam, ok := familyByName(head)
+	if !ok {
+		return Spec{}, fmt.Errorf("policy: unknown policy %q (known: %s)", head, strings.Join(Names(), ", "))
+	}
+	sp := defaultSpec(fam.Name)
+	if !hasOpts {
+		return sp, nil
+	}
+	if opts == "" {
+		return Spec{}, fmt.Errorf("policy: %s: empty option list after %q", fam.Name, ":")
+	}
+	seen := map[string]bool{}
+	for _, o := range strings.Split(opts, ",") {
+		key, val, hasVal := strings.Cut(o, "=")
+		if key == "" {
+			return Spec{}, fmt.Errorf("policy: %s: empty option in %q", fam.Name, opts)
+		}
+		// The lastline pair shares one underlying option.
+		canon := key
+		if key == "nolastline" {
+			canon = "lastline"
+		}
+		if !fam.options[canon] {
+			return Spec{}, fmt.Errorf("policy: %s does not take option %q (allowed: %s)", fam.Name, key, fam.optionList())
+		}
+		if seen[canon] {
+			return Spec{}, fmt.Errorf("policy: %s: duplicate option %q", fam.Name, canon)
+		}
+		seen[canon] = true
+		if err := sp.apply(key, val, hasVal); err != nil {
+			return Spec{}, err
+		}
+	}
+	return sp, nil
+}
+
+// MustParse is Parse but panics on error; for tables of experiment
+// configurations written as literals.
+func MustParse(s string) Spec {
+	sp, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// apply sets one validated option on the spec.
+func (s *Spec) apply(key, val string, hasVal bool) error {
+	switch key {
+	case "sticky":
+		n, err := intOpt(key, val, hasVal, 1, 255)
+		if err != nil {
+			return err
+		}
+		s.sticky = n
+	case "store":
+		if !hasVal {
+			return fmt.Errorf("policy: option store needs a value (table, hashed, or hashed*BITS)")
+		}
+		switch {
+		case val == "table":
+			s.hashed, s.bits = false, 0
+		case val == "hashed":
+			s.hashed, s.bits = true, 4
+		case strings.HasPrefix(val, "hashed*"):
+			n, err := intOpt("store=hashed*BITS", strings.TrimPrefix(val, "hashed*"), true, 1, 1024)
+			if err != nil {
+				return err
+			}
+			s.hashed, s.bits = true, n
+		default:
+			return fmt.Errorf("policy: bad store %q: want table, hashed, or hashed*BITS", val)
+		}
+	case "cold":
+		switch val {
+		case "hit":
+			s.coldMiss = false
+		case "miss":
+			s.coldMiss = true
+		default:
+			return fmt.Errorf("policy: bad cold %q: want hit or miss", val)
+		}
+	case "lastline", "nolastline":
+		if hasVal {
+			return fmt.Errorf("policy: option %s takes no value", key)
+		}
+		if key == "lastline" {
+			s.lastLine = lastLineOn
+		} else {
+			s.lastLine = lastLineOff
+		}
+	case "ways":
+		n, err := intOpt(key, val, hasVal, 1, 1024)
+		if err != nil {
+			return err
+		}
+		s.ways = n
+	case "entries":
+		n, err := intOpt(key, val, hasVal, 1, 1<<16)
+		if err != nil {
+			return err
+		}
+		s.entries = n
+	case "depth":
+		n, err := intOpt(key, val, hasVal, 1, 1<<16)
+		if err != nil {
+			return err
+		}
+		s.depth = n
+	default:
+		// Unreachable: the family option table gates keys before apply.
+		return fmt.Errorf("policy: unhandled option %q", key)
+	}
+	return nil
+}
+
+// intOpt parses a bounded integer option value.
+func intOpt(key, val string, hasVal bool, lo, hi int) (int, error) {
+	if !hasVal {
+		return 0, fmt.Errorf("policy: option %s needs an integer value", key)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("policy: option %s: bad integer %q", key, val)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("policy: option %s value %d out of [%d,%d]", key, n, lo, hi)
+	}
+	return n, nil
+}
+
+// String renders the canonical spec form: the family name with
+// non-default options in a fixed order. Parse(s.String()) returns s for
+// every Spec obtained from Parse.
+func (s Spec) String() string {
+	var opts []string
+	addLastLine := func() {
+		switch s.lastLine {
+		case lastLineOn:
+			opts = append(opts, "lastline")
+		case lastLineOff:
+			opts = append(opts, "nolastline")
+		default: // lastLineAuto renders as nothing: it is the default
+		}
+	}
+	switch s.family {
+	case "de", "de-stream":
+		if s.sticky != 1 {
+			opts = append(opts, fmt.Sprintf("sticky=%d", s.sticky))
+		}
+		if s.hashed {
+			opts = append(opts, fmt.Sprintf("store=hashed*%d", s.bits))
+		}
+		if s.coldMiss {
+			opts = append(opts, "cold=miss")
+		}
+		if s.family == "de" {
+			addLastLine()
+		} else if s.depth != 4 {
+			opts = append(opts, fmt.Sprintf("depth=%d", s.depth))
+		}
+	case "opt":
+		addLastLine()
+	case "lru", "fifo":
+		if s.ways != 2 {
+			opts = append(opts, fmt.Sprintf("ways=%d", s.ways))
+		}
+	case "victim":
+		if s.entries != 4 {
+			opts = append(opts, fmt.Sprintf("entries=%d", s.entries))
+		}
+	case "stream":
+		if s.depth != 4 {
+			opts = append(opts, fmt.Sprintf("depth=%d", s.depth))
+		}
+	}
+	if len(opts) == 0 {
+		return s.family
+	}
+	return s.family + ":" + strings.Join(opts, ",")
+}
+
+// SplitList splits a comma-separated list of policy specs, letting
+// option commas continue the previous spec: a fragment whose head (the
+// text before any ':') is not a registered policy name or alias belongs
+// to the spec before it, so "dm,de:sticky=2,store=hashed*4,opt" splits
+// into dm, de:sticky=2,store=hashed*4, and opt. Family names and option
+// fragments are disjoint, so the split is unambiguous. The returned
+// strings are the raw per-spec texts (suitable as labels); they are not
+// parsed or validated here.
+func SplitList(s string) ([]string, error) {
+	var out []string
+	for _, frag := range strings.Split(s, ",") {
+		frag = strings.TrimSpace(frag)
+		head, _, _ := strings.Cut(frag, ":")
+		_, isAlias := aliases[head]
+		if _, isFamily := familyByName(head); isFamily || isAlias {
+			out = append(out, frag)
+			continue
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("policy: list %q does not start with a policy name", s)
+		}
+		out[len(out)-1] += "," + frag
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("policy: empty policy list")
+	}
+	return out, nil
+}
+
+// WithLastLine returns a copy with the §6 last-line buffer forced on or
+// off. It is a no-op for families without the option, so legacy CLI
+// flags can pass through unconditionally.
+func (s Spec) WithLastLine(on bool) Spec {
+	if s.family != "de" && s.family != "opt" {
+		return s
+	}
+	if on {
+		s.lastLine = lastLineOn
+	} else {
+		s.lastLine = lastLineOff
+	}
+	return s
+}
+
+// WithSticky returns a copy with the sticky depth replaced. A no-op for
+// families without sticky levels; levels <= 0 keep the default. Range
+// validation happens at Build (core.New).
+func (s Spec) WithSticky(levels int) Spec {
+	if levels <= 0 || (s.family != "de" && s.family != "de-stream") {
+		return s
+	}
+	s.sticky = levels
+	return s
+}

@@ -1,0 +1,231 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseStringRoundTrip pins the canonical form: aliases expand,
+// defaults drop, options settle into a fixed order, and the canonical
+// string reparses to the identical Spec.
+func TestParseStringRoundTrip(t *testing.T) {
+	cases := []struct {
+		in, canon string
+	}{
+		{"dm", "dm"},
+		{"de", "de"},
+		{"  de  ", "de"},
+		{"de:sticky=2", "de:sticky=2"},
+		{"de:sticky=1", "de"},
+		{"de:store=table", "de"},
+		{"de:store=hashed", "de:store=hashed*4"},
+		{"de:store=hashed*8", "de:store=hashed*8"},
+		{"de:cold=miss", "de:cold=miss"},
+		{"de:cold=hit", "de"},
+		{"de:lastline", "de:lastline"},
+		{"de:nolastline", "de:nolastline"},
+		{"de:lastline,store=hashed*4,sticky=2", "de:sticky=2,store=hashed*4,lastline"},
+		{"de-hashed", "de:store=hashed*4"},
+		{"de-hashed:lastline", "de:store=hashed*4,lastline"},
+		{"de-stream", "de-stream"},
+		{"de-stream:depth=8", "de-stream:depth=8"},
+		{"de-stream:depth=4", "de-stream"},
+		{"de-stream:sticky=2,cold=miss", "de-stream:sticky=2,cold=miss"},
+		{"opt", "opt"},
+		{"opt:lastline", "opt:lastline"},
+		{"opt:nolastline", "opt:nolastline"},
+		{"lru", "lru"},
+		{"lru2", "lru"},
+		{"lru4", "lru:ways=4"},
+		{"lru:ways=2", "lru"},
+		{"lru:ways=8", "lru:ways=8"},
+		{"fifo", "fifo"},
+		{"fifo2", "fifo"},
+		{"fifo:ways=4", "fifo:ways=4"},
+		{"victim", "victim"},
+		{"victim:entries=8", "victim:entries=8"},
+		{"victim:entries=4", "victim"},
+		{"stream", "stream"},
+		{"stream:depth=4", "stream"},
+		{"stream:depth=2", "stream:depth=2"},
+	}
+	for _, c := range cases {
+		sp, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := sp.String(); got != c.canon {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.canon)
+		}
+		again, err := Parse(sp.String())
+		if err != nil {
+			t.Errorf("reparse of canonical %q: %v", sp.String(), err)
+			continue
+		}
+		if again != sp {
+			t.Errorf("round trip of %q: %+v != %+v", c.in, again, sp)
+		}
+	}
+}
+
+// TestParseErrors pins that malformed specs error rather than parse to
+// something surprising.
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"nope",
+		"DE", // family names are case-sensitive
+		"de:",
+		"de:,",
+		"de:bogus=1",
+		"de:sticky",
+		"de:sticky=",
+		"de:sticky=x",
+		"de:sticky=0",
+		"de:sticky=256",
+		"de:sticky=2,sticky=3",
+		"de:lastline,nolastline",
+		"de:nolastline,lastline",
+		"de:lastline=1",
+		"de:store",
+		"de:store=weird",
+		"de:store=hashed*0",
+		"de:store=hashed*x",
+		"de:cold=maybe",
+		"de:ways=2",
+		"de:depth=4",
+		"dm:ways=2",
+		"opt:sticky=2",
+		"lru:ways=0",
+		"lru:sticky=1",
+		"victim:entries=-1",
+		"stream:depth=0",
+		"de-stream:lastline",
+		":x",
+		"de::",
+	}
+	for _, in := range bad {
+		if sp, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", in, sp)
+		}
+	}
+}
+
+// TestWithOverrides pins the flag-override helpers: they adjust the
+// families that have the option and leave the rest untouched.
+func TestWithOverrides(t *testing.T) {
+	if got := MustParse("de").WithLastLine(true).String(); got != "de:lastline" {
+		t.Errorf("de WithLastLine(true) = %q", got)
+	}
+	if got := MustParse("de:lastline").WithLastLine(false).String(); got != "de:nolastline" {
+		t.Errorf("de:lastline WithLastLine(false) = %q", got)
+	}
+	if got := MustParse("victim").WithLastLine(true).String(); got != "victim" {
+		t.Errorf("victim WithLastLine = %q, want no-op", got)
+	}
+	if got := MustParse("de").WithSticky(3).String(); got != "de:sticky=3" {
+		t.Errorf("de WithSticky(3) = %q", got)
+	}
+	if got := MustParse("de").WithSticky(0).String(); got != "de" {
+		t.Errorf("de WithSticky(0) = %q, want default kept", got)
+	}
+	if got := MustParse("lru4").WithSticky(3).String(); got != "lru:ways=4" {
+		t.Errorf("lru4 WithSticky = %q, want no-op", got)
+	}
+}
+
+// TestSplitList pins the list splitter used by -policies: option commas
+// continue the previous spec, policy heads start a new one.
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"dm", []string{"dm"}},
+		{"dm,de,opt", []string{"dm", "de", "opt"}},
+		{"dm, de ,opt", []string{"dm", "de", "opt"}},
+		{"de:sticky=2,store=hashed*4,lastline,opt", []string{"de:sticky=2,store=hashed*4,lastline", "opt"}},
+		{"dm,de-hashed:lastline,lru:ways=4", []string{"dm", "de-hashed:lastline", "lru:ways=4"}},
+		{"victim:entries=8,stream:depth=2", []string{"victim:entries=8", "stream:depth=2"}},
+	}
+	for _, c := range cases {
+		got, err := SplitList(c.in)
+		if err != nil {
+			t.Errorf("SplitList(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("SplitList(%q) = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitList(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+	for _, bad := range []string{"", "sticky=2,de", "ways=4"} {
+		if got, err := SplitList(bad); err == nil {
+			t.Errorf("SplitList(%q) = %q, want error", bad, got)
+		}
+	}
+}
+
+// TestMustParsePanics pins MustParse's panic on a bad spec.
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on a bad spec did not panic")
+		}
+	}()
+	MustParse("not-a-policy")
+}
+
+// FuzzParseSpec asserts parse-format-parse stability: any input that
+// parses must render a canonical form that reparses to the identical
+// Spec and formats identically again; any input that does not parse
+// must produce a clean, prefixed error.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"dm",
+		"de:sticky=2,store=hashed*4,lastline",
+		"de-hashed",
+		"de-hashed:lastline",
+		"de:cold=miss",
+		"de-stream:depth=2",
+		"opt:nolastline",
+		"lru:ways=4",
+		"fifo2",
+		"victim:entries=8",
+		"stream:depth=4",
+		"bogus",
+		"de:",
+		"de:store=hashed*",
+		"de:lastline,nolastline",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		sp, err := Parse(in)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "policy: ") {
+				t.Fatalf("Parse(%q) error %q lacks the policy: prefix", in, err)
+			}
+			return
+		}
+		canon := sp.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, in, err)
+		}
+		if again != sp {
+			t.Fatalf("Parse(%q) = %+v but Parse(%q) = %+v", in, sp, canon, again)
+		}
+		if again.String() != canon {
+			t.Fatalf("format of %q is unstable: %q then %q", in, canon, again.String())
+		}
+	})
+}

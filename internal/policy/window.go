@@ -1,0 +1,77 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/opt"
+	"repro/internal/trace"
+)
+
+// WindowDirect is implemented by simulators that cannot be driven one
+// access at a time because the policy consumes the whole stream's future
+// (Belady-optimal). Window detects it and delegates the entire
+// measurement, warmup included.
+type WindowDirect interface {
+	SimulateWindow(refs []trace.Ref, warmup int) (cache.Stats, error)
+}
+
+// Measurement is the outcome of one windowed run: the warmup-subtracted
+// stats, plus the policy-specific counters over the same window (nil for
+// uninstrumented simulators and the WindowDirect path).
+type Measurement struct {
+	Stats  cache.Stats
+	Extras []cache.Counter
+}
+
+// Window drives sim over refs and measures the post-warmup window: the
+// first warmup references prime the simulator, and the returned stats
+// and counters cover only the remainder. warmup == 0 measures the whole
+// stream; a warmup that is negative or leaves nothing to measure is an
+// error. This is the one warmup-snapshot implementation shared by every
+// CLI and experiment.
+func Window(sim cache.Simulator, refs []trace.Ref, warmup int) (Measurement, error) {
+	if warmup < 0 {
+		return Measurement{}, fmt.Errorf("policy: negative warmup %d", warmup)
+	}
+	if warmup > 0 && warmup >= len(refs) {
+		return Measurement{}, fmt.Errorf("policy: warmup %d consumes the whole %d-reference stream; nothing left to measure", warmup, len(refs))
+	}
+	if direct, ok := sim.(WindowDirect); ok {
+		stats, err := direct.SimulateWindow(refs, warmup)
+		return Measurement{Stats: stats}, err
+	}
+	cache.RunRefs(sim, refs[:warmup])
+	warmStats := sim.Stats()
+	warmExtras := cache.SnapshotExtras(sim)
+	cache.RunRefs(sim, refs[warmup:])
+	m := Measurement{Stats: sim.Stats().Sub(warmStats)}
+	if extras := cache.SnapshotExtras(sim); extras != nil {
+		m.Extras = cache.SubCounters(extras, warmExtras)
+	}
+	return m, nil
+}
+
+// optSim adapts the whole-stream optimal simulator to the registry's
+// Build interface. It is driven exclusively through the WindowDirect
+// path; Access panics because the policy is undefined without the
+// stream's future.
+type optSim struct {
+	geom     cache.Geometry
+	lastLine bool
+}
+
+func (o *optSim) Access(uint64) cache.Result {
+	panic("policy: the optimal policy needs the whole stream's future; drive it with policy.Window, not Access")
+}
+
+func (o *optSim) Stats() cache.Stats { return cache.Stats{} }
+
+// SimulateWindow implements WindowDirect via opt.SimulateDMWindow. The
+// geometry was validated at Build, so the call cannot panic.
+func (o *optSim) SimulateWindow(refs []trace.Ref, warmup int) (cache.Stats, error) {
+	if warmup < 0 || (warmup > 0 && warmup >= len(refs)) {
+		return cache.Stats{}, fmt.Errorf("policy: bad warmup %d for %d references", warmup, len(refs))
+	}
+	return opt.SimulateDMWindow(refs, o.geom, o.lastLine, warmup), nil
+}

@@ -1,0 +1,152 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// conflictRefs alternates two blocks that map to the same line in a 64B
+// cache, so warmup and steady-state windows differ.
+func conflictRefs(n int) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		if i%2 == 1 {
+			refs[i] = trace.Ref{Addr: 64}
+		}
+	}
+	return refs
+}
+
+// TestWindowValidation pins the warmup guard: a window that leaves
+// nothing to measure is an error, not a silently clamped full-stream
+// run.
+func TestWindowValidation(t *testing.T) {
+	cases := []struct {
+		warmup, n int
+		ok        bool
+	}{
+		{0, 100, true},
+		{1, 100, true},
+		{99, 100, true},
+		{100, 100, false}, // consumes the whole stream
+		{101, 100, false},
+		{-1, 100, false},
+		{0, 0, true}, // no warmup requested: empty stream is the caller's problem
+	}
+	for _, c := range cases {
+		sim := cache.MustDirectMapped(cache.DM(64, 4))
+		_, err := Window(sim, conflictRefs(c.n), c.warmup)
+		if (err == nil) != c.ok {
+			t.Errorf("Window(warmup=%d, n=%d) = %v, want ok=%v", c.warmup, c.n, err, c.ok)
+		}
+	}
+}
+
+// TestWindowStats checks window stats equal full-stream stats minus the
+// stats a fresh simulator accumulates over just the warmup prefix
+// (deterministic simulators make the snapshot reproducible).
+func TestWindowStats(t *testing.T) {
+	geom := cache.DM(64, 4)
+	refs := conflictRefs(200)
+	const warmup = 37
+
+	full := cache.MustDirectMapped(geom)
+	cache.RunRefs(full, refs)
+	prefix := cache.MustDirectMapped(geom)
+	cache.RunRefs(prefix, refs[:warmup])
+
+	m, err := Window(cache.MustDirectMapped(geom), refs, warmup)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if want := full.Stats().Sub(prefix.Stats()); m.Stats != want {
+		t.Errorf("window stats = %+v, want %+v", m.Stats, want)
+	}
+	if m.Stats.Accesses != uint64(len(refs)-warmup) {
+		t.Errorf("window accesses = %d, want %d", m.Stats.Accesses, len(refs)-warmup)
+	}
+	if m.Extras != nil {
+		t.Errorf("uninstrumented simulator returned extras %+v", m.Extras)
+	}
+}
+
+// TestWindowExtras checks the policy counters subtract over the same
+// window as the headline stats — a steady-state report must not mix
+// full-stream counters with warmup-subtracted stats.
+func TestWindowExtras(t *testing.T) {
+	geom := cache.DM(64, 4)
+	refs := conflictRefs(400)
+	const warmup = 100
+
+	sim := MustBuild("de", geom)
+	m, err := Window(sim, refs, warmup)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if m.Stats.Accesses != uint64(len(refs)-warmup) {
+		t.Fatalf("window accesses = %d", m.Stats.Accesses)
+	}
+
+	// Replay just the prefix on a fresh simulator: window + prefix
+	// counters must add up to the full-stream counters.
+	pre := MustBuild("de", geom)
+	cache.RunRefs(pre, refs[:warmup])
+	preExtras := cache.SnapshotExtras(pre)
+	fullExtras := cache.SnapshotExtras(sim)
+	var defenses uint64
+	for i := range fullExtras {
+		if m.Extras[i].Name != fullExtras[i].Name {
+			t.Fatalf("extras[%d] name %q != %q", i, m.Extras[i].Name, fullExtras[i].Name)
+		}
+		if m.Extras[i].Value+preExtras[i].Value != fullExtras[i].Value {
+			t.Errorf("extras[%s]: window %d + warm %d != full %d",
+				m.Extras[i].Name, m.Extras[i].Value, preExtras[i].Value, fullExtras[i].Value)
+		}
+		if fullExtras[i].Name == "sticky_defenses" {
+			defenses = preExtras[i].Value
+		}
+	}
+	// The alternating conflict generates defenses during warmup too, so
+	// the subtraction above is exercised on nonzero values.
+	if defenses == 0 {
+		t.Error("warmup window recorded no sticky defenses; test stream too weak")
+	}
+}
+
+// TestWindowDirect checks the whole-stream path: opt is measured through
+// WindowDirect with the same warmup semantics, and its Access panics
+// with a pointer at the right entry point.
+func TestWindowDirect(t *testing.T) {
+	geom := cache.DM(64, 4)
+	refs := conflictRefs(200)
+	const warmup = 37
+
+	sim := MustBuild("opt", geom)
+	m, err := Window(sim, refs, warmup)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if m.Stats.Accesses != uint64(len(refs)-warmup) {
+		t.Errorf("opt window accesses = %d, want %d", m.Stats.Accesses, len(refs)-warmup)
+	}
+	if m.Extras != nil {
+		t.Errorf("direct path returned extras %+v", m.Extras)
+	}
+	if _, err := Window(sim, refs, len(refs)); err == nil {
+		t.Error("opt Window with warmup == len(refs) succeeded, want error")
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("opt Access did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "policy.Window") {
+			t.Errorf("opt Access panic %v does not point at policy.Window", r)
+		}
+	}()
+	sim.Access(0)
+}

@@ -23,15 +23,9 @@ type Exclusion struct {
 	curValid bool
 
 	stats cache.Stats
-	extra ExclusionStats
-}
 
-// ExclusionStats counts the §6 helper structures' contributions.
-type ExclusionStats struct {
-	// LineHits counts fetches served by the current-line register.
-	LineHits uint64
-	// StreamHits counts line fetches covered by the prefetch buffer.
-	StreamHits uint64
+	lineHits   uint64 // fetches served by the current-line register
+	streamHits uint64 // line fetches covered by the prefetch buffer
 }
 
 // NewExclusion returns a dynamic exclusion cache whose excluded lines are
@@ -67,7 +61,7 @@ func (e *Exclusion) Access(addr uint64) cache.Result {
 	// register.
 	if e.curValid && e.cur == block {
 		e.stats.Record(cache.Hit, false)
-		e.extra.LineHits++
+		e.lineHits++
 		return cache.Hit
 	}
 	e.cur = block
@@ -83,7 +77,7 @@ func (e *Exclusion) Access(addr uint64) cache.Result {
 	// The line is not in the cache. If the prefetcher already has it at
 	// the buffer head, the fetch is covered: no next-level miss.
 	if e.buf.HeadHit(block) {
-		e.extra.StreamHits++
+		e.streamHits++
 		e.stats.Record(cache.Hit, false)
 		return cache.Hit
 	}
@@ -98,8 +92,14 @@ func (e *Exclusion) Access(addr uint64) cache.Result {
 // the next memory level).
 func (e *Exclusion) Stats() cache.Stats { return e.stats }
 
-// Extra returns the helper-structure counters.
-func (e *Exclusion) Extra() ExclusionStats { return e.extra }
+// Extras returns the §6 helper-structure counters in the uniform
+// cache.Counter shape.
+func (e *Exclusion) Extras() []cache.Counter {
+	return []cache.Counter{
+		{Name: "line_hits", Value: e.lineHits},
+		{Name: "stream_hits", Value: e.streamHits},
+	}
+}
 
 // Inner exposes the wrapped dynamic exclusion cache (for FSM state
 // inspection).

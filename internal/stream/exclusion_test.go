@@ -22,8 +22,11 @@ func TestExclusionSequentialRunCovered(t *testing.T) {
 	if s.Misses != 1 {
 		t.Errorf("misses = %d, want 1 for sequential code", s.Misses)
 	}
-	ex := e.Extra()
-	if ex.LineHits == 0 || ex.StreamHits == 0 {
+	ex := e.Extras()
+	if ex[0].Name != "line_hits" || ex[1].Name != "stream_hits" {
+		t.Fatalf("extras = %+v, want line_hits then stream_hits", ex)
+	}
+	if ex[0].Value == 0 || ex[1].Value == 0 {
 		t.Errorf("helper hits = %+v, want both nonzero", ex)
 	}
 }

@@ -60,19 +60,8 @@ type Cache struct {
 	valid []bool
 	buf   *Buffer
 	stats cache.Stats
-	extra ExtraStats
-}
 
-// ExtraStats counts stream-buffer events.
-type ExtraStats struct {
-	// StreamHits counts references served by the buffer head.
-	StreamHits uint64
-}
-
-// Sub returns the difference e - earlier, measuring a steady-state window
-// alongside cache.Stats.Sub.
-func (e ExtraStats) Sub(earlier ExtraStats) ExtraStats {
-	return ExtraStats{StreamHits: e.StreamHits - earlier.StreamHits}
+	streamHits uint64 // references served by the buffer head
 }
 
 // New returns a direct-mapped cache with a stream buffer of depth lines.
@@ -115,7 +104,7 @@ func (c *Cache) Access(addr uint64) cache.Result {
 		// Prefetched: move into the cache without a next-level miss.
 		c.tags[set] = block
 		c.valid[set] = true
-		c.extra.StreamHits++
+		c.streamHits++
 		c.stats.Record(cache.Hit, false)
 		return cache.Hit
 	}
@@ -130,8 +119,11 @@ func (c *Cache) Access(addr uint64) cache.Result {
 // Stats returns the accumulated counters.
 func (c *Cache) Stats() cache.Stats { return c.stats }
 
-// Extra returns stream-buffer counters.
-func (c *Cache) Extra() ExtraStats { return c.extra }
+// Extras returns the stream-buffer counter in the uniform cache.Counter
+// shape.
+func (c *Cache) Extras() []cache.Counter {
+	return []cache.Counter{{Name: "stream_hits", Value: c.streamHits}}
+}
 
 // Geometry returns the cache's shape.
 func (c *Cache) Geometry() cache.Geometry { return c.geom }

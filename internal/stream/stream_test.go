@@ -17,8 +17,8 @@ func TestStreamBufferSequentialRun(t *testing.T) {
 	if s.Misses != 1 {
 		t.Errorf("misses = %d, want 1 for a sequential run", s.Misses)
 	}
-	if c.Extra().StreamHits == 0 {
-		t.Error("no stream hits recorded")
+	if got := c.Extras()[0]; got.Name != "stream_hits" || got.Value == 0 {
+		t.Errorf("extras = %+v, want nonzero stream_hits", got)
 	}
 }
 
@@ -86,7 +86,7 @@ func TestCacheHitBeatsBuffer(t *testing.T) {
 	if got := c.Access(4); got != cache.Hit {
 		t.Errorf("resident access = %v", got)
 	}
-	if c.Extra().StreamHits != 0 {
+	if c.Extras()[0].Value != 0 {
 		t.Error("resident hit must not count as stream hit")
 	}
 }

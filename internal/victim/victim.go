@@ -35,19 +35,8 @@ type Cache struct {
 	victims []entry
 	clock   uint64
 	stats   cache.Stats
-	extra   ExtraStats
-}
 
-// ExtraStats counts victim-buffer events.
-type ExtraStats struct {
-	// VictimHits counts references served by a swap with the buffer.
-	VictimHits uint64
-}
-
-// Sub returns the difference e - earlier, measuring a steady-state window
-// alongside cache.Stats.Sub.
-func (e ExtraStats) Sub(earlier ExtraStats) ExtraStats {
-	return ExtraStats{VictimHits: e.VictimHits - earlier.VictimHits}
+	victimHits uint64 // references served by a swap with the buffer
 }
 
 // New returns a direct-mapped cache of the given geometry with a
@@ -102,7 +91,7 @@ func (c *Cache) Access(addr uint64) cache.Result {
 			}
 			c.tags[set] = block
 			c.valid[set] = true
-			c.extra.VictimHits++
+			c.victimHits++
 			c.stats.Record(cache.Hit, false)
 			return cache.Hit
 		}
@@ -152,8 +141,11 @@ func (c *Cache) Contains(addr uint64) bool {
 // Stats returns the accumulated counters.
 func (c *Cache) Stats() cache.Stats { return c.stats }
 
-// Extra returns victim-buffer counters.
-func (c *Cache) Extra() ExtraStats { return c.extra }
+// Extras returns the victim-buffer counter in the uniform cache.Counter
+// shape.
+func (c *Cache) Extras() []cache.Counter {
+	return []cache.Counter{{Name: "victim_hits", Value: c.victimHits}}
+}
 
 // Geometry returns the main cache's shape.
 func (c *Cache) Geometry() cache.Geometry { return c.geom }

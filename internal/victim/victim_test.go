@@ -19,8 +19,8 @@ func TestVictimCatchesPingPong(t *testing.T) {
 	if s.Misses != 2 {
 		t.Errorf("misses = %d, want 2 (cold only): %+v", s.Misses, s)
 	}
-	if c.Extra().VictimHits != 18 {
-		t.Errorf("victim hits = %d, want 18", c.Extra().VictimHits)
+	if got := c.Extras()[0]; got.Name != "victim_hits" || got.Value != 18 {
+		t.Errorf("extras = %+v, want victim_hits=18", got)
 	}
 }
 
