@@ -14,8 +14,10 @@ vet:
 
 # dynexcheck is the repo's own static-analysis pass (see DESIGN.md §9):
 # determinism of the simulation core, exhaustive FSM switches, passive
-# telemetry hooks, context-aware sleeps, and %w error wrapping. The
-# gofmt -s -l step fails on any file that needs (re)formatting.
+# telemetry hooks, context-aware sleeps, %w error wrapping, and the
+# batch-kernel stats rule (no per-reference cache.Stats writes inside
+# BatchAccess loops — DESIGN.md §11). The gofmt -s -l step fails on any
+# file that needs (re)formatting.
 lint:
 	go run ./cmd/dynexcheck
 	@unformatted=$$(gofmt -s -l .); \
@@ -36,12 +38,16 @@ cover:
 bench:
 	go test -bench=. -benchmem .
 
-# Machine-readable run telemetry for the committed BENCH_3.json: a small
-# standard sweep with -report (see DESIGN.md §8). CI's bench-smoke job
-# runs the same target and asserts the JSON parses.
+# Machine-readable run telemetry for the committed BENCH_6.json: a
+# standard sweep with -report (see DESIGN.md §8). The grid is sized so
+# one synthesized stream feeds 16 batch-kernel cells, which is the
+# throughput story BENCH_6 records (see DESIGN.md §11); run the same
+# command with -scalar for the devirtualization baseline. CI's
+# bench-smoke job runs the same target and asserts the JSON parses.
 bench-report:
-	go run ./cmd/dynex-sweep -bench gcc -refs 200000 -sizes 8192,16384,32768 \
-		-policies dm,de -report BENCH_3.json > /dev/null
+	go run ./cmd/dynex-sweep -bench gcc -refs 2000000 \
+		-sizes 16384,32768,65536,131072 \
+		-policies dm,de,de:store=hashed*4,fifo -report BENCH_6.json > /dev/null
 
 # Regenerate every paper figure (writes experiments_1m.txt).
 experiments:

@@ -87,6 +87,7 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxFailures = fs.Int("max-failures", 0, "abort the sweep after this many cell failures (0 = finish regardless)")
 		retries     = fs.Int("retries", 0, "re-run transiently failing cells up to this many extra times")
 		cellTimeout = fs.Duration("cell-timeout", 0, "wall-clock budget per cell attempt (0 = none)")
+		scalarOnly  = fs.Bool("scalar", false, "disable the BatchAccess fast path; drive every simulator one Access at a time (CSV must be byte-identical)")
 		inject      = fs.String("inject", "", "fault injection for testing: stream-fail=N or panic=SUBSTR")
 		reportPath  = fs.String("report", "", "write a machine-readable RunReport JSON to this file")
 		traceFile   = fs.String("trace-events", "", "write a structured JSONL event log of the run to this file")
@@ -211,6 +212,9 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 					cell.Geometry = geom
 					cell.Label = fmt.Sprintf("%s/%d/%d/%s", b.Name, size, line, pol)
 					cell.Stream = lazy
+					if *scalarOnly {
+						forceScalar(&cell)
+					}
 					if injectPanic != "" && strings.Contains(cell.Label, injectPanic) {
 						injectCellPanic(&cell)
 					}
@@ -438,6 +442,25 @@ func parseInject(s string) (streamFail int, panicSubstr string, err error) {
 		}
 	}
 	return 0, "", fmt.Errorf("bad -inject %q: want stream-fail=N or panic=SUBSTR", s)
+}
+
+// forceScalar strips the BatchAccess fast path from a policy cell
+// (cache.ScalarOnly), so the engine drives the simulator one Access per
+// reference. The -scalar CSV must be byte-identical to the batched one —
+// CI's bench-smoke job diffs the two per registered policy. Direct
+// (whole-stream) cells have no Access path to strip.
+func forceScalar(cell *engine.Cell) {
+	if cell.Policy == nil {
+		return
+	}
+	inner := cell.Policy
+	cell.Policy = func(g cache.Geometry) (cache.Simulator, error) {
+		sim, err := inner(g)
+		if err != nil {
+			return nil, err
+		}
+		return cache.ScalarOnly(sim), nil
+	}
 }
 
 // injectCellPanic rewires a cell so its simulation panics — the

@@ -62,6 +62,31 @@ func TestSweepResumeByteIdentity(t *testing.T) {
 	}
 }
 
+// TestSweepScalarByteIdentity pins the batch fast path at the CLI
+// surface: -scalar strips BatchAccess from every policy cell, and the
+// resulting CSV must be byte-identical to the batched sweep across every
+// registered policy name — the same check CI's bench-smoke job runs.
+func TestSweepScalarByteIdentity(t *testing.T) {
+	out, _, err := runSweep(t, "-list-policies")
+	if err != nil {
+		t.Fatalf("-list-policies: %v", err)
+	}
+	policies := strings.Join(strings.Fields(out), ",")
+	args := []string{"-bench", "gcc", "-refs", "30000", "-sizes", "4096", "-lines", "16", "-policies", policies}
+
+	batched, _, err := runSweep(t, args...)
+	if err != nil {
+		t.Fatalf("batched run: %v", err)
+	}
+	scalar, _, err := runSweep(t, append(args, "-scalar")...)
+	if err != nil {
+		t.Fatalf("scalar run: %v", err)
+	}
+	if batched != scalar {
+		t.Errorf("-scalar CSV differs from batched CSV:\n--- batched\n%s--- scalar\n%s", batched, scalar)
+	}
+}
+
 // TestSweepInjectRetry checks -retries clears a transient stream fault
 // that sinks the sweep without it.
 func TestSweepInjectRetry(t *testing.T) {

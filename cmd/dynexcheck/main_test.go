@@ -33,11 +33,12 @@ func TestRealModuleClean(t *testing.T) {
 // exit non-zero, with the findings on stdout and a summary on stderr.
 func TestFixtureFindings(t *testing.T) {
 	cases := map[string]string{
-		"determ":   "[determinism]",
-		"fsm":      "[fsm-exhaustive]",
-		"purity":   "[collector-purity]",
-		"ctxsleep": "[ctx-sleep]",
-		"errfmt":   "[errfmt]",
+		"determ":     "[determinism]",
+		"fsm":        "[fsm-exhaustive]",
+		"purity":     "[collector-purity]",
+		"ctxsleep":   "[ctx-sleep]",
+		"errfmt":     "[errfmt]",
+		"batchstats": "[batch-stats]",
 	}
 	for name, marker := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -89,7 +90,7 @@ func TestList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "fsm-exhaustive", "collector-purity", "ctx-sleep", "errfmt", "registry"} {
+	for _, name := range []string{"determinism", "fsm-exhaustive", "collector-purity", "ctx-sleep", "errfmt", "registry", "batch-stats"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output lacks %q:\n%s", name, stdout)
 		}

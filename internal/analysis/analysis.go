@@ -95,6 +95,7 @@ func Analyzers() []*Analyzer {
 		CtxSleepAnalyzer,
 		ErrFmtAnalyzer,
 		RegistryAnalyzer,
+		BatchStatsAnalyzer,
 	}
 }
 

@@ -104,7 +104,7 @@ func TestAllowDirective(t *testing.T) {
 	wantDiags(t, checkFixture(t, "allow"), []string{
 		`p/p.go:21: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
 		`p/p.go:27: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
-		`p/p.go:32: [directive] directive allows unknown check "nosuchcheck" (known: collector-purity, ctx-sleep, determinism, errfmt, fsm-exhaustive, registry)`,
+		`p/p.go:32: [directive] directive allows unknown check "nosuchcheck" (known: batch-stats, collector-purity, ctx-sleep, determinism, errfmt, fsm-exhaustive, registry)`,
 		`p/p.go:38: [directive] directive "//dynexcheck:allow" is missing a check name`,
 		`p/p.go:43: [directive] malformed directive "//dynexcheck:allowtypo x": want "//dynexcheck:allow <check> <justification>"`,
 	})
@@ -122,6 +122,20 @@ func TestRegistryFixture(t *testing.T) {
 		`cmd/tool/main.go:15: [registry] direct cache.MustSetAssoc in cmd/tool: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked`,
 		`internal/experiments/exp.go:14: [registry] direct core.New in internal/experiments: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked`,
 		`internal/experiments/exp.go:15: [registry] direct stream.New in internal/experiments: build the simulator from a policy spec (internal/policy) so it stays sweepable and conformance-checked`,
+	})
+}
+
+// TestBatchStatsFixture pins the batch-stats analyzer: per-reference
+// Stats writes inside a BatchAccess loop — method calls, field
+// increments, whole-value assignments, even on a local delta — are
+// findings, while local-counter accumulation, the single post-loop
+// flush, policy-state writes, and scalar code pass.
+func TestBatchStatsFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "batchstats"), []string{
+		`internal/core/kernel.go:20: [batch-stats] Stats.Record inside a BatchAccess loop: accumulate in locals and flush once per batch`,
+		`internal/core/kernel.go:21: [batch-stats] write through cache.Stats inside a BatchAccess loop: accumulate in locals and flush once per batch`,
+		`internal/core/kernel.go:22: [batch-stats] write through cache.Stats inside a BatchAccess loop: accumulate in locals and flush once per batch`,
+		`internal/core/kernel.go:23: [batch-stats] Stats.Record inside a BatchAccess loop: accumulate in locals and flush once per batch`,
 	})
 }
 

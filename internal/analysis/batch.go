@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BatchStatsAnalyzer enforces the batch-kernel accumulation discipline:
+// inside the loops of a BatchAccess method, counters must accumulate in
+// plain locals and flush into cache.Stats once per batch. A per-reference
+// write through a Stats value — a Stats method call (Record, Add) or an
+// assignment targeting a Stats-typed expression — re-introduces exactly
+// the per-access bookkeeping the fast path exists to hoist, and on some
+// kernels a subtle double-count (the delta is both recorded in place and
+// flushed at the end).
+var BatchStatsAnalyzer = &Analyzer{
+	Name: "batch-stats",
+	Doc:  "ban per-reference cache.Stats writes inside BatchAccess kernel loops; accumulate in locals, flush once per batch",
+	Run:  runBatchStats,
+}
+
+func runBatchStats(pass *Pass) {
+	statsType := cacheStatsType(pass.Module)
+	if statsType == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "BatchAccess" || fd.Body == nil {
+				continue
+			}
+			// Collect the loop bodies; a write is per-reference only when it
+			// executes once per iteration.
+			var loops []ast.Node
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					loops = append(loops, n)
+				}
+				return true
+			})
+			if len(loops) == 0 {
+				continue
+			}
+			inLoop := func(n ast.Node) bool {
+				for _, l := range loops {
+					if posWithin(n.Pos(), l) {
+						return true
+					}
+				}
+				return false
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeFunc(info, x)
+					if fn == nil || !isStatsMethod(fn, statsType) || !inLoop(x) {
+						return true
+					}
+					pass.Reportf(x.Pos(),
+						"Stats.%s inside a BatchAccess loop: accumulate in locals and flush once per batch",
+						fn.Name())
+				case *ast.AssignStmt:
+					if !inLoop(x) {
+						return true
+					}
+					for _, lhs := range x.Lhs {
+						if e := statsPrefix(info, lhs, statsType); e != nil {
+							pass.Reportf(lhs.Pos(),
+								"write through cache.Stats inside a BatchAccess loop: accumulate in locals and flush once per batch")
+						}
+					}
+				case *ast.IncDecStmt:
+					if !inLoop(x) {
+						return true
+					}
+					if e := statsPrefix(info, x.X, statsType); e != nil {
+						pass.Reportf(x.Pos(),
+							"write through cache.Stats inside a BatchAccess loop: accumulate in locals and flush once per batch")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// cacheStatsType resolves the module's cache.Stats named type (nil when
+// the module has no internal/cache package — then the rule is vacuous).
+func cacheStatsType(mod *Module) *types.Named {
+	pkg := mod.Base(mod.Path + "/internal/cache")
+	if pkg == nil {
+		return nil
+	}
+	obj, ok := pkg.Scope().Lookup("Stats").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return namedOf(obj.Type())
+}
+
+// isStatsMethod reports whether fn is a method whose receiver is
+// cache.Stats (by value or pointer).
+func isStatsMethod(fn *types.Func, stats *types.Named) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := types.Unalias(recv).(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named := namedOf(recv)
+	return named != nil && named.Obj() == stats.Obj()
+}
+
+// statsPrefix returns the shortest prefix of assignable expression e
+// whose static type is cache.Stats ("c.stats" in "c.stats.Hits"), or nil
+// when no prefix has that type. The blank identifier never matches.
+func statsPrefix(info *types.Info, e ast.Expr, stats *types.Named) ast.Expr {
+	for {
+		if id, ok := e.(*ast.Ident); ok && id.Name == "_" {
+			return nil
+		}
+		if tv, ok := info.Types[e]; ok {
+			if named := namedOf(tv.Type); named != nil && named.Obj() == stats.Obj() {
+				return e
+			}
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

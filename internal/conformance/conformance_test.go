@@ -49,3 +49,16 @@ func TestRegistryConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestBatchDifferential pins the BatchAccess fast path against scalar
+// Access for every registered policy spec: identical Stats, deltas, and
+// Extras under ragged chunking, and identical policy.Window
+// measurements with warmup boundaries landing mid-batch.
+func TestBatchDifferential(t *testing.T) {
+	for _, geom := range []cache.Geometry{cache.DM(1<<13, 4), cache.DM(1<<12, 16)} {
+		geom := geom
+		t.Run(geom.String(), func(t *testing.T) {
+			CheckBatchRegistry(t, geom, Options{Streams: 3})
+		})
+	}
+}

@@ -5,39 +5,96 @@ import (
 	"math/bits"
 )
 
+// tablePageBlocks is the number of blocks covered by one TableStore
+// page. Reference streams have block locality by construction, so
+// nearly every store operation lands on the page the previous one did.
+const tablePageBlocks = 1 << 12
+
+// tablePage holds two bits per block: whether the block has ever been
+// written back (seen) and, if so, its recorded hit-last bit.
+type tablePage struct {
+	seen [tablePageBlocks / 64]uint64
+	bits [tablePageBlocks / 64]uint64
+}
+
 // TableStore is the idealized hit-last store: one bit per memory block,
 // unbounded. The paper calls this configuration simply "dynamic
 // exclusion"; it is what Figures 3, 4, 5, 11–15 measure. Default is the
 // bit reported for never-seen blocks — the cold-start assume-hit /
 // assume-miss choice of §5.
+//
+// The table is stored as a paged bitmap with a one-entry cache of the
+// most recently touched page, so the Lookup/Writeback pair a miss costs
+// is a few shifts and masks rather than two map operations.
 type TableStore struct {
-	bits    map[uint64]bool
+	pages   map[uint64]*tablePage
+	last    *tablePage // page of the most recent Lookup/Writeback
+	lastKey uint64
+	n       int // blocks with a recorded bit
 	Default bool
 }
 
 // NewTableStore returns an empty table reporting def for unseen blocks.
 func NewTableStore(def bool) *TableStore {
-	return &TableStore{bits: make(map[uint64]bool), Default: def}
+	return &TableStore{pages: make(map[uint64]*tablePage), Default: def}
+}
+
+// page returns the page covering block, or nil if no bit in its range
+// has been recorded.
+func (t *TableStore) page(block uint64) *tablePage {
+	key := block / tablePageBlocks
+	if t.last != nil && t.lastKey == key {
+		return t.last
+	}
+	p := t.pages[key]
+	if p != nil {
+		t.last, t.lastKey = p, key
+	}
+	return p
 }
 
 // Lookup returns the recorded bit, or the default for unseen blocks.
 func (t *TableStore) Lookup(block uint64) bool {
-	if v, ok := t.bits[block]; ok {
-		return v
+	p := t.page(block)
+	if p == nil {
+		return t.Default
 	}
-	return t.Default
+	i := block % tablePageBlocks
+	if p.seen[i>>6]&(1<<(i&63)) == 0 {
+		return t.Default
+	}
+	return p.bits[i>>6]&(1<<(i&63)) != 0
 }
 
 // Writeback records the bit.
 func (t *TableStore) Writeback(block uint64, hitLast bool) {
-	t.bits[block] = hitLast
+	p := t.page(block)
+	if p == nil {
+		key := block / tablePageBlocks
+		p = new(tablePage)
+		t.pages[key] = p
+		t.last, t.lastKey = p, key
+	}
+	i := block % tablePageBlocks
+	if p.seen[i>>6]&(1<<(i&63)) == 0 {
+		p.seen[i>>6] |= 1 << (i & 63)
+		t.n++
+	}
+	if hitLast {
+		p.bits[i>>6] |= 1 << (i & 63)
+	} else {
+		p.bits[i>>6] &^= 1 << (i & 63)
+	}
 }
 
 // Len returns the number of blocks with recorded bits.
-func (t *TableStore) Len() int { return len(t.bits) }
+func (t *TableStore) Len() int { return t.n }
 
 // Reset forgets all recorded bits.
-func (t *TableStore) Reset() { clear(t.bits) }
+func (t *TableStore) Reset() {
+	clear(t.pages)
+	t.last, t.n = nil, 0
+}
 
 // HashedStore is the paper's "hashed" storage strategy (§5): a fixed-size
 // array of hit-last bits kept in the L1 cache, indexed by a hash of the

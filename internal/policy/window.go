@@ -17,8 +17,12 @@ type WindowDirect interface {
 }
 
 // Measurement is the outcome of one windowed run: the warmup-subtracted
-// stats, plus the policy-specific counters over the same window (nil for
-// uninstrumented simulators and the WindowDirect path).
+// stats, plus the policy-specific counters over the same window. Extras
+// is non-nil exactly when the simulator is cache.Instrumented — on the
+// incremental and the WindowDirect path alike (a WindowDirect simulator
+// is responsible for window-scoping its own counters; the runner
+// subtracts whatever the counters held before the call, so repeated
+// measurements on one simulator stay delta-correct).
 type Measurement struct {
 	Stats  cache.Stats
 	Extras []cache.Counter
@@ -29,7 +33,10 @@ type Measurement struct {
 // and counters cover only the remainder. warmup == 0 measures the whole
 // stream; a warmup that is negative or leaves nothing to measure is an
 // error. This is the one warmup-snapshot implementation shared by every
-// CLI and experiment.
+// CLI and experiment. Simulators with a cache.BatchSimulator fast path
+// are driven in batches through cache.RunRefs — the warmup snapshot
+// lands between batches, and the measured stats are bit-identical to
+// scalar driving (the conformance differential battery enforces this).
 func Window(sim cache.Simulator, refs []trace.Ref, warmup int) (Measurement, error) {
 	if warmup < 0 {
 		return Measurement{}, fmt.Errorf("policy: negative warmup %d", warmup)
@@ -38,8 +45,16 @@ func Window(sim cache.Simulator, refs []trace.Ref, warmup int) (Measurement, err
 		return Measurement{}, fmt.Errorf("policy: warmup %d consumes the whole %d-reference stream; nothing left to measure", warmup, len(refs))
 	}
 	if direct, ok := sim.(WindowDirect); ok {
+		warmExtras := cache.SnapshotExtras(sim)
 		stats, err := direct.SimulateWindow(refs, warmup)
-		return Measurement{Stats: stats}, err
+		if err != nil {
+			return Measurement{}, err
+		}
+		m := Measurement{Stats: stats}
+		if extras := cache.SnapshotExtras(sim); extras != nil {
+			m.Extras = cache.SubCounters(extras, warmExtras)
+		}
+		return m, nil
 	}
 	cache.RunRefs(sim, refs[:warmup])
 	warmStats := sim.Stats()

@@ -116,6 +116,93 @@ func TestWindowExtras(t *testing.T) {
 	}
 }
 
+// TestWindowBatchWarmupEdges pins the batch-path warmup edge cases: no
+// warmup, a warmup landing exactly on a chunk boundary, and a warmup
+// inside the final chunk must all measure byte-identically to scalar
+// driving of the same spec.
+func TestWindowBatchWarmupEdges(t *testing.T) {
+	geom := cache.DM(1<<10, 16)
+	n := cache.BatchChunk + 2500
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		switch i % 3 {
+		case 0:
+			refs[i] = trace.Ref{Addr: uint64(i%64) * 16}
+		case 1:
+			refs[i] = trace.Ref{Addr: 1 << 10}
+		default:
+			refs[i] = trace.Ref{Addr: uint64(i) * 4 % (1 << 13)}
+		}
+	}
+	for _, spec := range []string{"dm", "de", "lru:ways=4"} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			for _, warmup := range []int{0, cache.BatchChunk, n - 100} {
+				mBatch, err := Window(MustBuild(spec, geom), refs, warmup)
+				if err != nil {
+					t.Fatalf("warmup %d (batched): %v", warmup, err)
+				}
+				mScalar, err := Window(cache.ScalarOnly(MustBuild(spec, geom)), refs, warmup)
+				if err != nil {
+					t.Fatalf("warmup %d (scalar): %v", warmup, err)
+				}
+				if mBatch.Stats != mScalar.Stats {
+					t.Errorf("warmup %d: batched %+v != scalar %+v", warmup, mBatch.Stats, mScalar.Stats)
+				}
+				if len(mBatch.Extras) != len(mScalar.Extras) {
+					t.Fatalf("warmup %d: extras length %d != %d", warmup, len(mBatch.Extras), len(mScalar.Extras))
+				}
+				for i := range mScalar.Extras {
+					if mBatch.Extras[i] != mScalar.Extras[i] {
+						t.Errorf("warmup %d: extras[%d] = %+v, want %+v", warmup, i, mBatch.Extras[i], mScalar.Extras[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// instrumentedDirect is a WindowDirect simulator that also carries
+// counters, for pinning the Extras contract on the direct path.
+type instrumentedDirect struct {
+	windows uint64
+}
+
+func (s *instrumentedDirect) Access(uint64) cache.Result { panic("drive via Window") }
+func (s *instrumentedDirect) Stats() cache.Stats         { return cache.Stats{} }
+func (s *instrumentedDirect) Extras() []cache.Counter {
+	return []cache.Counter{{Name: "windows", Value: s.windows}}
+}
+func (s *instrumentedDirect) SimulateWindow(refs []trace.Ref, warmup int) (cache.Stats, error) {
+	s.windows++
+	return cache.Stats{Accesses: uint64(len(refs) - warmup)}, nil
+}
+
+// TestWindowDirectExtrasContract pins the Measurement contract on the
+// WindowDirect path: Extras is non-nil (and delta-scoped to the call)
+// exactly when the simulator is Instrumented — the same rule as the
+// incremental path, so callers never branch on how a spec is driven.
+func TestWindowDirectExtrasContract(t *testing.T) {
+	refs := conflictRefs(100)
+	sim := &instrumentedDirect{}
+	m, err := Window(sim, refs, 10)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if len(m.Extras) != 1 || m.Extras[0] != (cache.Counter{Name: "windows", Value: 1}) {
+		t.Errorf("first measurement extras = %+v, want windows=1", m.Extras)
+	}
+	// A second measurement on the same simulator must report only its own
+	// delta, not the cumulative counter.
+	m2, err := Window(sim, refs, 10)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if len(m2.Extras) != 1 || m2.Extras[0] != (cache.Counter{Name: "windows", Value: 1}) {
+		t.Errorf("second measurement extras = %+v, want delta windows=1", m2.Extras)
+	}
+}
+
 // TestWindowDirect checks the whole-stream path: opt is measured through
 // WindowDirect with the same warmup semantics, and its Access panics
 // with a pointer at the right entry point.

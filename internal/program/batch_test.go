@@ -1,0 +1,173 @@
+package program
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// batchProgram exercises every executor feature at once: pure
+// instruction blocks (the bulk fast path), data-bearing blocks of each
+// pattern, loops, branches, a switch, and calls.
+func batchProgram(t *testing.T) *Program {
+	t.Helper()
+	helper := Fn("helper",
+		Blk(9),
+		BlkData(5, DataSpec{Pattern: StackData, Base: 0x8000, Size: 256, Refs: 2, StoreFrac: 0.3}),
+	)
+	main := Fn("main",
+		Blk(40),
+		&Loop{Trip: Between(3, 9), Body: []Node{
+			BlkData(12, DataSpec{Pattern: SeqData, Base: 0x1_0000, Size: 1024, Refs: 3}),
+			Branch(0.4,
+				[]Node{BlkData(7, DataSpec{Pattern: RandData, Base: 0x2_0000, Size: 512, Refs: 2, StoreFrac: 0.5})},
+				[]Node{Blk(11)}),
+			CallTo(helper),
+		}},
+		&Switch{Arms: [][]Node{
+			{BlkData(6, DataSpec{Pattern: ChaseData, Base: 0x3_0000, Size: 2048, Refs: 4})},
+			{Blk(3)},
+		}},
+		Blk(25),
+	)
+	p, err := New("batchprog", 0x40_0000, main, helper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestReadBatchMatchesNext is the executor's differential battery: the
+// batched stream must be byte-identical to the scalar one — every
+// instruction address, every PRNG-driven data address and store/load
+// choice, in the same order — across ragged batch sizes and seeds.
+func TestReadBatchMatchesNext(t *testing.T) {
+	const n = 60000
+	for _, seed := range []int64{1, 2, 42} {
+		p := batchProgram(t)
+		want, err := func() ([]trace.Ref, error) {
+			r := p.Run(seed)
+			out := make([]trace.Ref, 0, n)
+			for len(out) < n {
+				ref, err := r.Next()
+				if err != nil {
+					return out, err
+				}
+				out = append(out, ref)
+			}
+			return out, nil
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, sizes := range [][]int{{1}, {2, 5, 1}, {64}, {4096, 17}} {
+			q := batchProgram(t)
+			r := q.Run(seed)
+			got := make([]trace.Ref, 0, n)
+			for i := 0; len(got) < n; i++ {
+				dst := make([]trace.Ref, sizes[i%len(sizes)])
+				if want := n - len(got); len(dst) > want {
+					dst = dst[:want]
+				}
+				m, err := trace.ReadBatch(r, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, dst[:m]...)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d sizes %v: ref[%d] = %+v, want %+v", seed, sizes, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReadBatchMixedDriving alternates Next and ReadBatch pulls on one
+// executor and expects the same stream as Next alone.
+func TestReadBatchMixedDriving(t *testing.T) {
+	const n = 20000
+	p := batchProgram(t)
+	r := p.Run(5)
+	want := make([]trace.Ref, 0, n)
+	for len(want) < n {
+		ref, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ref)
+	}
+
+	q := batchProgram(t)
+	m := q.Run(5)
+	got := make([]trace.Ref, 0, n)
+	buf := make([]trace.Ref, 113)
+	for len(got) < n {
+		ref, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ref)
+		dst := buf
+		if rem := n - len(got); rem < len(dst) {
+			dst = dst[:rem]
+		}
+		k, err := trace.ReadBatch(m, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, dst[:k]...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ref[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReadBatchOnce checks the batched path delivers the identical
+// finite stream and a clean EOF for a run-once executor.
+func TestReadBatchOnce(t *testing.T) {
+	p := batchProgram(t)
+	var want []trace.Ref
+	r := p.RunOnce(3)
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ref)
+	}
+
+	q := batchProgram(t)
+	b := q.RunOnce(3)
+	var got []trace.Ref
+	buf := make([]trace.Ref, 1000)
+	for {
+		n, err := trace.ReadBatch(b, buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batched once-stream has %d refs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ref[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if n, err := trace.ReadBatch(b, buf); n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF ReadBatch = (%d, %v), want (0, EOF)", n, err)
+	}
+}

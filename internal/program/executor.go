@@ -109,6 +109,70 @@ func (e *executor) Next() (trace.Ref, error) {
 	}
 }
 
+// ReadBatch implements trace.BatchReader: it emits the exact sequence
+// repeated Next calls would, but delivers straight-line instruction runs
+// with one bounds check per run instead of one interface call per
+// reference. Blocks with data specs fall back to the per-reference
+// schedule so the interleave (and every PRNG draw) is identical.
+func (e *executor) ReadBatch(dst []trace.Ref) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if e.done {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		}
+		if !e.inRun {
+			if err := e.advance(); err != nil {
+				if err == io.EOF {
+					e.done = true
+					continue
+				}
+				return n, err
+			}
+		}
+		r := &e.run
+		b := r.b
+		if b.Data == nil {
+			// Pure instruction block: emit the rest of the run (or as
+			// much as fits) in one tight loop.
+			k := b.N - r.i
+			if k > len(dst)-n {
+				k = len(dst) - n
+			}
+			addr := b.addr + uint64(r.i)*InstrBytes
+			for j := 0; j < k; j++ {
+				dst[n+j] = trace.Ref{Addr: addr + uint64(j)*InstrBytes, Kind: trace.Instr}
+			}
+			n += k
+			r.i += k
+			if r.i >= b.N {
+				e.inRun = false
+			}
+			continue
+		}
+		// Data-bearing block: mirror Next's interleave schedule per ref.
+		switch d := b.Data; {
+		case r.d < d.Refs && (r.d+1)*b.N <= r.i*d.Refs:
+			dst[n] = e.dataRef(d)
+			r.d++
+			n++
+		case r.i < b.N:
+			dst[n] = trace.Ref{Addr: b.addr + uint64(r.i)*InstrBytes, Kind: trace.Instr}
+			r.i++
+			n++
+		case r.d < d.Refs:
+			dst[n] = e.dataRef(d)
+			r.d++
+			n++
+		default:
+			e.inRun = false
+		}
+	}
+	return n, nil
+}
+
 // advance steps the control stack until a block begins (e.inRun set) or the
 // program ends (io.EOF when once, restart otherwise).
 func (e *executor) advance() error {

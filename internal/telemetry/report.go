@@ -152,10 +152,9 @@ func (c *Collector) Report() RunReport {
 	if r.Cells.Total == 0 {
 		r.Cells.Total = int(c.finished)
 	}
-	if secs := elapsed.Seconds(); secs > 0 {
-		r.RefsPerSec = float64(c.refs) / secs
-		r.CellsPerSec = float64(c.finished) / secs
-	}
+	secs := elapsed.Seconds()
+	r.RefsPerSec = safeRate(float64(c.refs), secs)
+	r.CellsPerSec = safeRate(float64(c.finished), secs)
 	r.CellWallMS = QuantilesOf(c.sortedLocked(func(rec cellRecord) time.Duration { return rec.wall }))
 	r.QueueWaitMS = QuantilesOf(c.sortedLocked(func(rec cellRecord) time.Duration { return rec.queueWait }))
 

@@ -18,6 +18,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -240,11 +241,26 @@ func (c *Collector) snapshotLocked() Snapshot {
 		ElapsedMS:     ms(elapsed),
 		CheckpointHit: c.ckptHits,
 	}
-	if secs := elapsed.Seconds(); secs > 0 {
-		s.CellsPerSec = float64(c.finished) / secs
-		s.RefsPerSec = float64(c.refs) / secs
-	}
+	secs := elapsed.Seconds()
+	s.CellsPerSec = safeRate(float64(c.finished), secs)
+	s.RefsPerSec = safeRate(float64(c.refs), secs)
 	return s
+}
+
+// safeRate returns n/secs clamped to a finite, non-negative value: 0 for
+// a zero, negative (clock adjustment), or pathological window. RunReport
+// and Snapshot rates go through it so a run that completes inside one
+// clock tick can never put +Inf or NaN into the JSON — which
+// encoding/json refuses to marshal, failing the whole report write.
+func safeRate(n, secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	r := n / secs
+	if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+		return 0
+	}
+	return r
 }
 
 // ETA estimates time remaining from the done/total pair a Progress

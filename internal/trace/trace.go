@@ -58,6 +58,36 @@ type Reader interface {
 	Next() (Ref, error)
 }
 
+// BatchReader is the optional bulk fast path of a Reader. ReadBatch
+// fills a prefix of dst and returns how many references it wrote, plus
+// any error encountered; like io.Reader, it may return n > 0 alongside
+// a non-nil error, and the written references are valid either way.
+// The delivered sequence is exactly the one repeated Next calls would
+// produce — callers may mix the two freely.
+type BatchReader interface {
+	Reader
+	ReadBatch(dst []Ref) (int, error)
+}
+
+// ReadBatch fills a prefix of dst from r, using the reader's bulk path
+// when it has one and falling back to per-reference Next calls
+// otherwise. The return contract is BatchReader's.
+func ReadBatch(r Reader, dst []Ref) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.ReadBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		ref, err := r.Next()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = ref
+		n++
+	}
+	return n, nil
+}
+
 // ReaderFunc adapts a function to the Reader interface.
 type ReaderFunc func() (Ref, error)
 
@@ -85,6 +115,16 @@ func (r *SliceReader) Next() (Ref, error) {
 	return ref, nil
 }
 
+// ReadBatch copies the next run of references into dst.
+func (r *SliceReader) ReadBatch(dst []Ref) (int, error) {
+	if r.pos >= len(r.refs) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.refs[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
 // Reset rewinds the reader to the start of the slice.
 func (r *SliceReader) Reset() { r.pos = 0 }
 
@@ -98,23 +138,33 @@ var ErrLimit = errors.New("trace: stream longer than limit")
 // ends before max, the shorter slice is returned. max <= 0 collects the
 // entire stream. A stream longer than a positive max is NOT an error: the
 // prefix is returned (the paper likewise simulates 10M-reference prefixes).
+// Batch-capable readers are drained through their bulk path.
 func Collect(r Reader, max int) ([]Ref, error) {
-	var refs []Ref
 	if max > 0 {
-		refs = make([]Ref, 0, max)
-	}
-	for {
-		if max > 0 && len(refs) >= max {
-			return refs, nil
+		refs := make([]Ref, 0, max)
+		for len(refs) < max {
+			n, err := ReadBatch(r, refs[len(refs):max])
+			refs = refs[:len(refs)+n]
+			if err == io.EOF {
+				return refs, nil
+			}
+			if err != nil {
+				return refs, err
+			}
 		}
-		ref, err := r.Next()
+		return refs, nil
+	}
+	var refs []Ref
+	buf := make([]Ref, 1<<12)
+	for {
+		n, err := ReadBatch(r, buf)
+		refs = append(refs, buf[:n]...)
 		if err == io.EOF {
 			return refs, nil
 		}
 		if err != nil {
 			return refs, err
 		}
-		refs = append(refs, ref)
 	}
 }
 
