@@ -1,10 +1,10 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-report experiments fuzz faults fmt vet lint
+.PHONY: all build test race cover bench bench-report experiments fuzz faults fmt vet lint serve-smoke
 
 # `race` is part of the default verify: the parallel simulation engine
 # (internal/engine) must stay race-clean, and CI enforces the same set.
-all: build vet lint test race
+all: build vet lint test race serve-smoke
 
 build:
 	go build ./...
@@ -57,6 +57,14 @@ fuzz:
 	go test -fuzz FuzzFSMInvariants -fuzztime 30s ./internal/core/
 	go test -fuzz FuzzFileReader -fuzztime 30s ./internal/trace/
 	go test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/trace/
+
+# End-to-end crash-safety smoke for dynex-serve (DESIGN.md §12): start
+# the service (race-enabled build), submit a job, SIGTERM it mid-run,
+# restart over the same data directory, and assert the served CSV is
+# byte-identical to a direct dynex-sweep run of the same grid with no
+# lost or duplicated cells. CI runs the same script.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Fault-injection suite: once with the fixed default seed (the set CI
 # covers), once with a random seed. The seed is printed so a randomized

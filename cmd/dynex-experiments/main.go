@@ -23,12 +23,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -38,13 +42,34 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// The same graceful-cancel path as cmd/dynex-sweep: interrupt or
+	// SIGTERM cancels the engine mid-experiment, the checkpoint journal
+	// is synced and closed by the deferred handlers, and the process
+	// exits with a clean "interrupted" error — a resumed -checkpoint run
+	// picks up from the journaled experiments.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "dynex-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) (err error) {
+	// Experiment bodies panic on cell failures; with a real context those
+	// panics can now carry the user's cancellation. Recover exactly that
+	// case into a clean error (running the deferred journal/telemetry
+	// shutdown on the way out); any other panic is a real bug and keeps
+	// crashing loudly.
+	defer func() {
+		if v := recover(); v != nil {
+			if pe, ok := v.(error); ok && errors.Is(pe, context.Canceled) {
+				err = fmt.Errorf("interrupted: %w", pe)
+				return
+			}
+			panic(v)
+		}
+	}()
 	var (
 		refs       = flag.Int("refs", 1_000_000, "references collected per benchmark and stream kind")
 		runIDs     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
@@ -138,7 +163,7 @@ func run() error {
 			strconv.Itoa(*refs), strconv.FormatInt(*seed, 10))
 	}
 
-	w := experiments.NewWorkloads(experiments.Config{Refs: *refs, SeedOffset: *seed, Workers: *workers, Collector: engCol})
+	w := experiments.NewWorkloads(experiments.Config{Refs: *refs, SeedOffset: *seed, Workers: *workers, Collector: engCol, Ctx: ctx})
 	// runExperiment wraps one experiment with telemetry annotations.
 	runExperiment := func(r experiments.Runner) fmt.Stringer {
 		if col != nil {
@@ -149,6 +174,9 @@ func run() error {
 	}
 	if *jsonMode {
 		for _, r := range runners {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("interrupted: %w", err)
+			}
 			if journal != nil {
 				if rec, ok := journal.Lookup(fp(r.ID)); ok {
 					fmt.Print(rec.Payload)
@@ -167,6 +195,12 @@ func run() error {
 			}); err != nil {
 				return err
 			}
+			// A cancellation mid-experiment can leave a partially computed
+			// result (skipped benchmarks render as zeros): never print or
+			// journal it.
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("interrupted: %w", err)
+			}
 			fmt.Print(line.String())
 			if journal != nil {
 				if err := journal.Append(checkpoint.Record{Fingerprint: fp(r.ID), Label: r.ID, Payload: line.String()}); err != nil {
@@ -182,6 +216,9 @@ func run() error {
 	fmt.Printf("Cache Replacement with Dynamic Exclusion (McFarling, ISCA 1992) — reproduction\n")
 	fmt.Printf("workload: synthetic SPEC89 suite, %d refs/benchmark/kind\n\n", *refs)
 	for _, r := range runners {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted: %w", err)
+		}
 		if journal != nil {
 			if rec, ok := journal.Lookup(fp(r.ID)); ok {
 				fmt.Printf("== %s: %s  (checkpointed)\n\n", r.ID, r.Title)
@@ -194,6 +231,10 @@ func run() error {
 		}
 		start := time.Now()
 		res := fmt.Sprint(runExperiment(r))
+		// Never print or journal a result the cancellation truncated.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted: %w", err)
+		}
 		fmt.Printf("== %s: %s  (%.1fs)\n\n", r.ID, r.Title, time.Since(start).Seconds())
 		fmt.Println(res)
 		if journal != nil {

@@ -35,7 +35,6 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,7 +43,6 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
@@ -52,6 +50,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/grid"
 	"repro/internal/policy"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
@@ -138,92 +137,58 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad -policies: %w", err)
 	}
-	polSpecs := make([]policy.Spec, len(polList))
-	for i, pol := range polList {
-		sp, err := policy.Parse(pol)
-		if err != nil {
+	for _, pol := range polList {
+		if _, err := policy.Parse(pol); err != nil {
 			return fmt.Errorf("bad -policies: %w", err)
 		}
-		polSpecs[i] = sp
-	}
-
-	switch *kind {
-	case "instr", "data", "mixed":
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
 	}
 	injectStreamFail, injectPanic, err := parseInject(*inject)
 	if err != nil {
 		return err
 	}
 
-	var benches []spec.Benchmark
+	var benchNames []string
 	if *suite {
-		benches = spec.Suite()
+		for _, b := range spec.Suite() {
+			benchNames = append(benchNames, b.Name)
+		}
 	} else {
-		b, ok := spec.ByName(*benchName)
-		if !ok {
+		if _, ok := spec.ByName(*benchName); !ok {
 			return fmt.Errorf("unknown benchmark %q", *benchName)
 		}
-		benches = []spec.Benchmark{b}
+		benchNames = []string{*benchName}
 	}
 
-	// Build the full cell grid up front — benchmark-major, then size,
-	// line, policy, matching the serial loop nest this command used to
-	// run — validating every cell before any simulation starts. Each
-	// benchmark's stream materializes lazily, once, on whichever worker
-	// reaches it first; all of its cells share the slice.
-	//
-	// fps[i] is cells[i]'s checkpoint fingerprint. Streams are synthesized
-	// deterministically from (benchmark, kind, refs), so those three stand
-	// in for a stream digest.
-	var cells []engine.Cell
-	var fps []string
-	for _, b := range benches {
-		b := b
-		var (
-			once   sync.Once
-			stream []trace.Ref
-		)
-		lazy := func() ([]trace.Ref, error) {
-			once.Do(func() {
-				switch *kind {
-				case "instr":
-					stream = b.Instr(*refs)
-				case "data":
-					stream = b.Data(*refs)
-				case "mixed":
-					stream = b.Mixed(*refs)
-				}
-			})
-			return stream, nil
+	// The whole cell grid — benchmark-major, then size, line, policy,
+	// fingerprints and CSV layout included — comes from internal/grid,
+	// the layout shared with the dynex-serve job runner, so a sweep
+	// checkpoint and a serve job journal are interchangeable and their
+	// CSVs byte-identical. Every cell is validated before any simulation
+	// starts; each benchmark's stream materializes lazily, once, on
+	// whichever worker reaches it first.
+	sources, err := grid.BenchSources(benchNames, *kind, *refs)
+	if err != nil {
+		return err
+	}
+	if injectStreamFail > 0 {
+		for i := range sources {
+			sources[i].Stream = faultinject.FlakyStream(sources[i].Stream, faultinject.NewBudget(injectStreamFail))
 		}
-		if injectStreamFail > 0 {
-			lazy = faultinject.FlakyStream(lazy, faultinject.NewBudget(injectStreamFail))
+	}
+	plan, err := grid.Spec{
+		Sources: sources, Kind: *kind, Refs: *refs,
+		Sizes: sizeList, Lines: lineList, Policies: polList,
+	}.Build()
+	if err != nil {
+		return err
+	}
+	cells, fps := plan.Cells, plan.FPs
+	for i := range cells {
+		if *scalarOnly {
+			forceScalar(&cells[i])
 		}
-		for _, size := range sizeList {
-			for _, line := range lineList {
-				geom := cache.DM(size, line)
-				if err := geom.Validate(); err != nil {
-					return err
-				}
-				for pi, pol := range polList {
-					cell := polSpecs[pi].Cell()
-					cell.Geometry = geom
-					cell.Label = fmt.Sprintf("%s/%d/%d/%s", b.Name, size, line, pol)
-					cell.Stream = lazy
-					if *scalarOnly {
-						forceScalar(&cell)
-					}
-					if injectPanic != "" && strings.Contains(cell.Label, injectPanic) {
-						injectCellPanic(&cell)
-					}
-					cells = append(cells, cell)
-					fps = append(fps, checkpoint.Fingerprint(
-						"dynex-sweep/v1", b.Name, *kind, strconv.Itoa(*refs),
-						strconv.FormatUint(size, 10), strconv.FormatUint(line, 10), pol))
-				}
-			}
+		if injectPanic != "" && strings.Contains(cells[i].Label, injectPanic) {
+			injectCellPanic(&cells[i])
 		}
 	}
 
@@ -370,38 +335,9 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// cells[i] regardless of completion order, so the CSV is identical to
 	// the serial version's; rows for failed cells are withheld and
 	// reported on stderr instead.
-	w := csv.NewWriter(stdout)
-	defer w.Flush()
-	if err := w.Write([]string{"benchmark", "kind", "size", "line", "policy", "miss_rate", "misses", "accesses"}); err != nil {
+	failed, err := plan.WriteCSV(stdout, merged)
+	if err != nil {
 		return err
-	}
-	var failed []engine.Result
-	i := 0
-	for _, b := range benches {
-		for _, size := range sizeList {
-			for _, line := range lineList {
-				for _, pol := range polList {
-					res := merged[i]
-					i++
-					if res.Err != nil {
-						failed = append(failed, res)
-						continue
-					}
-					rec := []string{
-						b.Name, *kind,
-						strconv.FormatUint(size, 10),
-						strconv.FormatUint(line, 10),
-						pol,
-						strconv.FormatFloat(res.Stats.MissRate(), 'f', 6, 64),
-						strconv.FormatUint(res.Stats.Misses, 10),
-						strconv.FormatUint(res.Stats.Accesses, 10),
-					}
-					if err := w.Write(rec); err != nil {
-						return err
-					}
-				}
-			}
-		}
 	}
 	if len(failed) == 0 {
 		return nil

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cache"
@@ -27,13 +30,19 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// The same graceful-cancel path as cmd/dynex-sweep: interrupt or
+	// SIGTERM cancels the context, the simulation stops at the next
+	// chunk boundary, and the process exits with a clean error instead
+	// of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "dynex:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		benchName  = flag.String("bench", "gcc", "benchmark name from the suite (see -benches)")
 		pattern    = flag.String("pattern", "", "run a §3 pattern instead of a benchmark: between-loops, loop-levels, within-loop, three-way")
@@ -88,6 +97,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("interrupted: %w", err)
+	}
 	geom := cache.DM(*size, *line)
 	fmt.Printf("workload: %s (%d refs)\ncache:    %s, policy %s\n\n", desc, len(streamRefs), geom, pspec)
 
@@ -110,7 +122,7 @@ func run() error {
 		if *warmup != 0 {
 			return fmt.Errorf("-warmup is not supported with -l2 (hierarchy counters cover the full stream)")
 		}
-		if err := runHierarchy(streamRefs, geom, *l2, *strategy, *lastLine, *sticky); err != nil {
+		if err := runHierarchy(ctx, streamRefs, geom, *l2, *strategy, *lastLine, *sticky); err != nil {
 			return err
 		}
 		return writeReport()
@@ -119,10 +131,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// policy.Window runs the warmup-snapshot dance for every policy,
+	// policy.WindowCtx runs the warmup-snapshot dance for every policy,
 	// including opt's whole-stream special case, and windows the
-	// policy-specific counters alongside the headline stats.
-	m, err := policy.Window(sim, streamRefs, *warmup)
+	// policy-specific counters alongside the headline stats; the context
+	// makes ^C/SIGTERM stop the drive loop at the next chunk boundary.
+	m, err := policy.WindowCtx(ctx, sim, streamRefs, *warmup)
 	if err != nil {
 		return err
 	}
@@ -205,8 +218,9 @@ func loadRefs(benchName, pattern, traceFile, kind string, n int, cacheSize uint6
 	}
 }
 
-// runHierarchy drives a two-level system.
-func runHierarchy(refs []trace.Ref, l1 cache.Geometry, l2Size uint64, strategy string, lastLine bool, sticky int) error {
+// runHierarchy drives a two-level system, honoring cancellation between
+// chunks of the drive loop.
+func runHierarchy(ctx context.Context, refs []trace.Ref, l1 cache.Geometry, l2Size uint64, strategy string, lastLine bool, sticky int) error {
 	var st hierarchy.Strategy
 	switch strategy {
 	case "assume-hit":
@@ -230,7 +244,13 @@ func runHierarchy(refs []trace.Ref, l1 cache.Geometry, l2Size uint64, strategy s
 	if err != nil {
 		return err
 	}
-	for _, r := range refs {
+	const chunk = 1 << 15
+	for i, r := range refs {
+		if i%chunk == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("interrupted: %w", err)
+			}
+		}
 		sys.Access(r.Addr)
 	}
 	fmt.Printf("L1: %v\n", sys.L1Stats())

@@ -41,6 +41,13 @@ type Config struct {
 	// threads its telemetry collector through here). Purely
 	// observational; see internal/engine's Collector.
 	Collector engine.Collector
+	// Ctx, when non-nil, cancels the simulation engine mid-experiment:
+	// workers stop picking up cells and running cells stop at the next
+	// chunk boundary (cmd/dynex-experiments threads its signal context
+	// through here). A cancelled experiment panics with an error wrapping
+	// the context error; the CLI recovers it into a clean exit. Nil means
+	// context.Background().
+	Ctx context.Context
 }
 
 func (c Config) refs() int {
@@ -55,6 +62,13 @@ func (c Config) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.Workers
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // Workloads lazily collects and caches the suite's reference streams so
@@ -220,7 +234,7 @@ func mixedKind(w *Workloads, name string) []trace.Ref { return w.Mixed(name) }
 // index so callers write into pre-sized slices.
 func forEachBenchmark(w *Workloads, kind kindOf, f func(i int, refs []trace.Ref)) {
 	names := w.Names()
-	engine.ForEach(context.Background(), len(names), w.cfg.workers(), func(i int) {
+	engine.ForEach(w.cfg.ctx(), len(names), w.cfg.workers(), func(i int) {
 		col := w.cfg.Collector
 		if col == nil {
 			f(i, kind(w, names[i]))
@@ -300,12 +314,14 @@ func sweepAverages(w *Workloads, kind kindOf, sizes []uint64, lineSize uint64, l
 			}
 		}
 	}
-	results, err := engine.Run(context.Background(), cells, engine.Options{
+	results, err := engine.Run(w.cfg.ctx(), cells, engine.Options{
 		Workers:   w.cfg.workers(),
 		Collector: w.cfg.Collector,
 	})
 	if err != nil {
-		panic("experiments: " + err.Error())
+		// An error here is the caller's cancellation; panic with an error
+		// value wrapping it so the CLI's recover can errors.Is it.
+		panic(fmt.Errorf("experiments: %w", err))
 	}
 
 	n := len(names)
@@ -316,7 +332,7 @@ func sweepAverages(w *Workloads, kind kindOf, sizes []uint64, lineSize uint64, l
 			for p, rates := range [][]float64{dms, des, ops} {
 				r := results[base+p]
 				if r.Err != nil {
-					panic("experiments: " + r.Label + ": " + r.Err.Error())
+					panic(fmt.Errorf("experiments: %s: %w", r.Label, r.Err))
 				}
 				rates[bi] = r.Stats.MissRate()
 			}

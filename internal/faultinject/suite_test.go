@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
+	"repro/internal/grid"
 	"repro/internal/trace"
 )
 
@@ -341,5 +343,183 @@ func TestFaultSuiteChaos(t *testing.T) {
 				t.Errorf("%s: failed cell carries stats %+v", r.Label, r.Stats)
 			}
 		}
+	}
+}
+
+// TestPanicSimBatchParity checks the fault wrappers stay transparent to
+// the batch fast path: a PanicSim over a batch-capable simulator still
+// panics at exactly the scheduled access, the inner simulator sees
+// exactly the pre-panic prefix, and an unfired schedule leaves stats
+// bit-identical to scalar driving.
+func TestPanicSimBatchParity(t *testing.T) {
+	data := traceBytes(t, 4096)
+	refs, err := fileStream(data, Schedule{})()
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := cache.DM(256, 4)
+
+	// Ground truth: the stats after exactly at-1 scalar accesses.
+	const at = 1000
+	prefix := cache.MustDirectMapped(geom)
+	for _, r := range refs[:at-1] {
+		prefix.Access(r.Addr)
+	}
+
+	inner := cache.MustDirectMapped(geom)
+	ps := NewPanicSim(inner, at)
+	if _, ok := cache.Simulator(ps).(cache.BatchSimulator); !ok {
+		t.Fatal("PanicSim does not implement cache.BatchSimulator")
+	}
+	func() {
+		defer func() {
+			msg := fmt.Sprint(recover())
+			if !strings.Contains(msg, fmt.Sprintf("at access %d", at)) {
+				t.Errorf("batch drive panicked with %q, want access %d", msg, at)
+			}
+		}()
+		cache.RunRefs(ps, refs) // batches of cache.BatchChunk; panic lands mid-batch
+		t.Error("batch drive did not panic")
+	}()
+	if inner.Stats() != prefix.Stats() {
+		t.Errorf("inner saw %+v, want the %d-access prefix %+v", inner.Stats(), at-1, prefix.Stats())
+	}
+
+	// A schedule beyond the stream never fires and the wrapper is
+	// stat-transparent on the batch path.
+	clean := cache.MustDirectMapped(geom)
+	cache.RunRefs(clean, refs)
+	survivor := cache.MustDirectMapped(geom)
+	cache.RunRefs(NewPanicSim(survivor, uint64(len(refs))+1), refs)
+	if survivor.Stats() != clean.Stats() {
+		t.Errorf("unfired PanicSim batch stats %+v != clean %+v", survivor.Stats(), clean.Stats())
+	}
+}
+
+// TestSlowSimBatchParity checks SlowSim's batch path delegates the whole
+// batch (identical stats) while still implementing the fast-path
+// interface, so a deadline test wrapping a batch kernel stays slow.
+func TestSlowSimBatchParity(t *testing.T) {
+	data := traceBytes(t, 2048)
+	refs, err := fileStream(data, Schedule{})()
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := cache.DM(256, 4)
+	clean := cache.MustDirectMapped(geom)
+	cache.RunRefs(clean, refs)
+
+	inner := cache.MustDirectMapped(geom)
+	ss := NewSlowSim(inner, 0)
+	if _, ok := cache.Simulator(ss).(cache.BatchSimulator); !ok {
+		t.Fatal("SlowSim does not implement cache.BatchSimulator")
+	}
+	cache.RunRefs(ss, refs)
+	if inner.Stats() != clean.Stats() {
+		t.Errorf("SlowSim batch stats %+v != clean %+v", inner.Stats(), clean.Stats())
+	}
+}
+
+// TestFaultSuiteTornRecordResume is the torn-tail invariant end to end:
+// a sweep crashes mid-write of its final journal record, leaving a
+// partial JSONL line. The resumed run must skip the torn tail, re-run
+// only that one cell, and emit a CSV byte-identical to an uninterrupted
+// sweep — the contract dynex-sweep -resume and dynex-serve job recovery
+// both stand on.
+func TestFaultSuiteTornRecordResume(t *testing.T) {
+	sources, err := grid.BenchSources([]string{"gcc"}, "instr", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := grid.Spec{
+		Sources: sources, Kind: "instr", Refs: 5000,
+		Sizes: []uint64{4096, 8192}, Lines: []uint64{4}, Policies: []string{"dm", "de"},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: the uninterrupted run's CSV bytes.
+	want, err := engine.Run(context.Background(), plan.Cells, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	if failed, err := plan.WriteCSV(&wantCSV, want); err != nil || len(failed) != 0 {
+		t.Fatalf("clean run: failed=%v err=%v", failed, err)
+	}
+
+	// The crashing run journals every cell, then the crash tears the last
+	// record: everything after its midpoint (newline included) is lost.
+	path := t.TempDir() + "/torn.jsonl"
+	j, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(context.Background(), plan.Cells, engine.Options{
+		OnResult: func(i int, r engine.Result) {
+			if r.Err != nil {
+				return
+			}
+			if err := j.Append(checkpoint.Record{Fingerprint: plan.FPs[i], Label: r.Label, Stats: r.Stats, Attempts: r.Attempts}); err != nil {
+				t.Error(err)
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	if len(lines) != len(plan.Cells) {
+		t.Fatalf("journal holds %d records, want %d", len(lines), len(plan.Cells))
+	}
+	last := lines[len(lines)-1]
+	torn := len(data) - len(last)/2 - 1 // mid-record, newline gone
+	if err := os.Truncate(path, int64(torn)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: the torn record is skipped, exactly one cell re-runs.
+	j2, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != len(plan.Cells)-1 {
+		t.Fatalf("resumed journal holds %d records, want %d", j2.Len(), len(plan.Cells)-1)
+	}
+	merged := make([]engine.Result, len(plan.Cells))
+	var pendIdx []int
+	var pendCells []engine.Cell
+	for i := range plan.Cells {
+		if rec, ok := j2.Lookup(plan.FPs[i]); ok {
+			merged[i] = engine.Result{Label: rec.Label, Stats: rec.Stats, Attempts: rec.Attempts}
+			continue
+		}
+		pendIdx = append(pendIdx, i)
+		pendCells = append(pendCells, plan.Cells[i])
+	}
+	if len(pendCells) != 1 || pendIdx[0] != len(plan.Cells)-1 {
+		t.Fatalf("resume re-runs cells %v, want only the torn final cell", pendIdx)
+	}
+	fresh, err := engine.Run(context.Background(), pendCells, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, i := range pendIdx {
+		merged[i] = fresh[pi]
+	}
+	var gotCSV bytes.Buffer
+	if failed, err := plan.WriteCSV(&gotCSV, merged); err != nil || len(failed) != 0 {
+		t.Fatalf("resumed run: failed=%v err=%v", failed, err)
+	}
+	if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n--- want\n%s--- got\n%s", wantCSV.String(), gotCSV.String())
 	}
 }

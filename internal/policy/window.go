@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -38,11 +39,32 @@ type Measurement struct {
 // lands between batches, and the measured stats are bit-identical to
 // scalar driving (the conformance differential battery enforces this).
 func Window(sim cache.Simulator, refs []trace.Ref, warmup int) (Measurement, error) {
+	return WindowCtx(context.Background(), sim, refs, warmup)
+}
+
+// windowChunk is the number of references driven between cooperative
+// cancellation checks of WindowCtx — the same order of magnitude as the
+// engine's drive chunk, so an interrupt is honored promptly while the
+// check cost vanishes against the simulation.
+const windowChunk = 1 << 15
+
+// WindowCtx is Window with cooperative cancellation: the stream is
+// driven in windowChunk batches and ctx is checked between them, so a
+// long single-cell run (cmd/dynex) stops promptly on SIGINT/SIGTERM
+// instead of finishing the whole stream. The warmup snapshot still lands
+// exactly on the warmup boundary, and an uncancelled WindowCtx run is
+// bit-identical to Window. WindowDirect simulators run the whole
+// measurement in one call and are only interruptible before it starts —
+// the same caveat the engine's Direct cells carry.
+func WindowCtx(ctx context.Context, sim cache.Simulator, refs []trace.Ref, warmup int) (Measurement, error) {
 	if warmup < 0 {
 		return Measurement{}, fmt.Errorf("policy: negative warmup %d", warmup)
 	}
 	if warmup > 0 && warmup >= len(refs) {
 		return Measurement{}, fmt.Errorf("policy: warmup %d consumes the whole %d-reference stream; nothing left to measure", warmup, len(refs))
+	}
+	if err := ctx.Err(); err != nil {
+		return Measurement{}, err
 	}
 	if direct, ok := sim.(WindowDirect); ok {
 		warmExtras := cache.SnapshotExtras(sim)
@@ -56,15 +78,39 @@ func Window(sim cache.Simulator, refs []trace.Ref, warmup int) (Measurement, err
 		}
 		return m, nil
 	}
-	cache.RunRefs(sim, refs[:warmup])
+	if err := runChunked(ctx, sim, refs[:warmup]); err != nil {
+		return Measurement{}, err
+	}
 	warmStats := sim.Stats()
 	warmExtras := cache.SnapshotExtras(sim)
-	cache.RunRefs(sim, refs[warmup:])
+	if err := runChunked(ctx, sim, refs[warmup:]); err != nil {
+		return Measurement{}, err
+	}
 	m := Measurement{Stats: sim.Stats().Sub(warmStats)}
 	if extras := cache.SnapshotExtras(sim); extras != nil {
 		m.Extras = cache.SubCounters(extras, warmExtras)
 	}
 	return m, nil
+}
+
+// runChunked drives sim over refs in windowChunk batches, checking ctx
+// between batches. cache.RunRefs applies the BatchAccess fast path
+// within each batch, so chunking changes nothing about the stats.
+func runChunked(ctx context.Context, sim cache.Simulator, refs []trace.Ref) error {
+	for len(refs) > 0 {
+		n := windowChunk
+		if n > len(refs) {
+			n = len(refs)
+		}
+		cache.RunRefs(sim, refs[:n])
+		refs = refs[n:]
+		if len(refs) > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // optSim adapts the whole-stream optimal simulator to the registry's

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -236,4 +238,32 @@ func TestWindowDirect(t *testing.T) {
 		}
 	}()
 	sim.Access(0)
+}
+
+// TestWindowCtxCancel pins the graceful-cancel path the single-run CLI
+// relies on: a cancelled context stops the chunked drive loop with the
+// context's error, while an uncancelled WindowCtx run is bit-identical
+// to Window.
+func TestWindowCtxCancel(t *testing.T) {
+	geom := cache.DM(64, 4)
+	// Two chunks' worth of references so a mid-stream check exists.
+	refs := conflictRefs(3 * windowChunk / 2)
+
+	want, err := Window(MustBuild("de", geom), refs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WindowCtx(context.Background(), MustBuild("de", geom), refs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want.Stats {
+		t.Errorf("WindowCtx stats %+v != Window stats %+v", got.Stats, want.Stats)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := WindowCtx(cancelled, MustBuild("de", geom), refs, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled WindowCtx err = %v, want context.Canceled", err)
+	}
 }

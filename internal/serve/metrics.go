@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics are the service's operational counters, exported at
+// /debug/vars via telemetry.PublishVar. Everything is atomic: the
+// counters are bumped from handlers, the dispatcher, and job runners
+// concurrently.
+type Metrics struct {
+	Admitted     atomic.Uint64 // jobs accepted into the queue
+	Rejected429  atomic.Uint64 // jobs refused for backpressure
+	RejectedBad  atomic.Uint64 // jobs refused by validation
+	ResumedJobs  atomic.Uint64 // jobs re-enqueued by crash recovery
+	ResumedCells atomic.Uint64 // cells restored from journals instead of re-run
+	CellsRun     atomic.Uint64 // cells simulated on this server run
+	JobsDone     atomic.Uint64
+	JobsFailed   atomic.Uint64
+	DrainNanos   atomic.Int64 // wall time of the last graceful drain
+}
+
+// MetricsSnapshot is the JSON shape under /debug/vars.
+type MetricsSnapshot struct {
+	QueueDepth   int     `json:"queue_depth"`
+	ActiveJobs   int     `json:"active_jobs"`
+	Admitted     uint64  `json:"admitted"`
+	Rejected429  uint64  `json:"rejected_429"`
+	RejectedBad  uint64  `json:"rejected_validation"`
+	ResumedJobs  uint64  `json:"resumed_jobs"`
+	ResumedCells uint64  `json:"resumed_cells"`
+	CellsRun     uint64  `json:"cells_run"`
+	JobsDone     uint64  `json:"jobs_done"`
+	JobsFailed   uint64  `json:"jobs_failed"`
+	DrainSeconds float64 `json:"drain_seconds"`
+}
+
+// publish exposes the server's counters as the expvar variable name.
+func (s *Server) publish(name string) {
+	telemetry.PublishVar(name, func() any { return s.metricsSnapshot() })
+}
+
+func (s *Server) metricsSnapshot() MetricsSnapshot {
+	queued, active := s.q.depthNow()
+	m := &s.metrics
+	return MetricsSnapshot{
+		QueueDepth:   queued,
+		ActiveJobs:   active,
+		Admitted:     m.Admitted.Load(),
+		Rejected429:  m.Rejected429.Load(),
+		RejectedBad:  m.RejectedBad.Load(),
+		ResumedJobs:  m.ResumedJobs.Load(),
+		ResumedCells: m.ResumedCells.Load(),
+		CellsRun:     m.CellsRun.Load(),
+		JobsDone:     m.JobsDone.Load(),
+		JobsFailed:   m.JobsFailed.Load(),
+		DrainSeconds: time.Duration(m.DrainNanos.Load()).Seconds(),
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import "sync"
+
+// queue is the bounded admission queue with per-tenant fairness: each
+// tenant has a FIFO of queued jobs, dispatch round-robins across
+// tenants, and a tenant never holds more than its quota of active
+// slots. Admission is all-or-nothing — when the total backlog is at
+// capacity, push refuses and the handler answers 429 with Retry-After;
+// nothing in the server buffers without bound.
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	depth     int // max total queued jobs (backlog bound)
+	maxActive int // max jobs running at once
+	tenantMax int // max running jobs per tenant
+
+	queued  map[string][]*job // per-tenant FIFO
+	tenants []string          // round-robin order (first-seen)
+	rr      int
+	nq      int // total queued
+
+	active  map[string]int
+	nactive int
+
+	closed bool
+}
+
+func newQueue(depth, maxActive, tenantMax int) *queue {
+	q := &queue{
+		depth: depth, maxActive: maxActive, tenantMax: tenantMax,
+		queued: map[string][]*job{}, active: map[string]int{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j, reporting false when the backlog is full or the
+// queue is closed (draining).
+func (q *queue) push(j *job) bool {
+	tenant := j.manifest().Tenant
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.nq >= q.depth {
+		return false
+	}
+	if _, seen := q.queued[tenant]; !seen {
+		q.tenants = append(q.tenants, tenant)
+	}
+	q.queued[tenant] = append(q.queued[tenant], j)
+	q.nq++
+	q.cond.Signal()
+	return true
+}
+
+// pushRecovered enqueues a job recovered from disk, bypassing the
+// admission bound — the job was admitted and acknowledged by a previous
+// process; refusing it now would lose it.
+func (q *queue) pushRecovered(j *job) {
+	tenant := j.manifest().Tenant
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, seen := q.queued[tenant]; !seen {
+		q.tenants = append(q.tenants, tenant)
+	}
+	q.queued[tenant] = append(q.queued[tenant], j)
+	q.nq++
+	q.cond.Signal()
+}
+
+// next blocks until a job is dispatchable under the fairness quotas and
+// claims an active slot for it, or returns nil once the queue is
+// closed. A closed queue dispatches nothing — drain leaves the backlog
+// durably queued for the next server start.
+func (q *queue) next() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil
+		}
+		if j := q.pickLocked(); j != nil {
+			return j
+		}
+		q.cond.Wait()
+	}
+}
+
+// pickLocked scans tenants round-robin for the first with queued work
+// and spare quota. Starting the scan one past the last dispatch point
+// keeps a backlogged tenant from starving the others.
+func (q *queue) pickLocked() *job {
+	if q.nq == 0 || q.nactive >= q.maxActive || len(q.tenants) == 0 {
+		return nil
+	}
+	for i := 0; i < len(q.tenants); i++ {
+		idx := (q.rr + i) % len(q.tenants)
+		tenant := q.tenants[idx]
+		fifo := q.queued[tenant]
+		if len(fifo) == 0 || q.active[tenant] >= q.tenantMax {
+			continue
+		}
+		j := fifo[0]
+		q.queued[tenant] = fifo[1:]
+		q.nq--
+		q.active[tenant]++
+		q.nactive++
+		q.rr = idx + 1
+		return j
+	}
+	return nil
+}
+
+// release returns a finished job's active slot and wakes the dispatcher.
+func (q *queue) release(tenant string) {
+	q.mu.Lock()
+	q.active[tenant]--
+	q.nactive--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// close stops admission and dispatch: push refuses, next returns nil
+// once no dispatchable work remains. Jobs still queued stay durably
+// queued in their manifests and re-enqueue on the next server start.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// depthNow reports (queued, active) for metrics and readiness.
+func (q *queue) depthNow() (queued, active int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.nq, q.nactive
+}
+
+// full reports whether admission would refuse right now.
+func (q *queue) full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed || q.nq >= q.depth
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// store is the crash-safe on-disk layout under one data directory:
+//
+//	jobs/<id>/manifest.json   durable job record (atomic tmp+rename)
+//	jobs/<id>/cells.jsonl     per-cell checkpoint journal (internal/checkpoint)
+//	traces/<digest>.trace     uploaded trace files, content-addressed
+//
+// Every write is either atomic (manifests: write tmp, fsync, rename) or
+// append-only with torn-tail recovery (journals), so a crash at any
+// instant leaves a directory the next server start can load.
+type store struct {
+	dir string
+}
+
+func newStore(dir string) (*store, error) {
+	for _, d := range []string{filepath.Join(dir, "jobs"), filepath.Join(dir, "traces")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: data dir: %w", err)
+		}
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) jobDir(id string) string      { return filepath.Join(st.dir, "jobs", id) }
+func (st *store) journalPath(id string) string { return filepath.Join(st.jobDir(id), "cells.jsonl") }
+
+// writeManifest persists m atomically: a torn write can only ever lose
+// the update, never corrupt the previous manifest.
+func (st *store) writeManifest(m Manifest) error {
+	dir := st.jobDir(m.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "manifest.json.tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "manifest.json"))
+}
+
+// loadManifests scans jobs/ and returns every readable manifest in
+// admission (Seq) order. Unreadable entries — a directory whose
+// manifest write was the torn operation — are skipped: the job never
+// acknowledged admission, so dropping it is correct.
+func (st *store) loadManifests() ([]Manifest, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var ms []Manifest
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(st.jobDir(e.Name()), "manifest.json"))
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.ID != e.Name() {
+			continue
+		}
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Seq < ms[j].Seq })
+	return ms, nil
+}
+
+// putTrace stores an uploaded trace content-addressed and returns its
+// handle. Uploading the same bytes twice is idempotent.
+func (st *store) putTrace(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])[:16]
+	path := filepath.Join(st.dir, "traces", digest+".trace")
+	if _, err := os.Stat(path); err == nil {
+		return "trace:" + digest, nil
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return "trace:" + digest, nil
+}
+
+// readTrace returns an uploaded trace's bytes by digest.
+func (st *store) readTrace(digest string) ([]byte, error) {
+	if strings.ContainsAny(digest, "/\\.") {
+		return nil, fmt.Errorf("serve: bad trace digest %q", digest)
+	}
+	data, err := os.ReadFile(filepath.Join(st.dir, "traces", digest+".trace"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: unknown trace %q", digest)
+	}
+	return data, nil
+}

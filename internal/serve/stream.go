@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one line of a job's result stream: a finished cell, a cell
+// failure, a liveness heartbeat, or the terminal marker.
+type Event struct {
+	Type  string `json:"type"` // "cell", "cell_error", "heartbeat", "done"
+	Index int    `json:"index,omitempty"`
+	Label string `json:"label,omitempty"`
+	// Cell payload (Type == "cell").
+	MissRate string `json:"miss_rate,omitempty"` // fixed 6-decimal rendering, same as the CSV
+	Misses   uint64 `json:"misses,omitempty"`
+	Accesses uint64 `json:"accesses,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	// Resumed marks cells restored from the journal rather than
+	// re-simulated on this server run.
+	Resumed bool `json:"resumed,omitempty"`
+	// Error carries the cell failure (Type == "cell_error").
+	Error string `json:"error,omitempty"`
+	// Progress snapshot (Type == "heartbeat" or "done").
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// State is the job's terminal state (Type == "done").
+	State string `json:"state,omitempty"`
+}
+
+// tail is a job's append-only event log with broadcast: appenders add
+// events, readers replay the prefix they haven't seen and then block on
+// a channel that is closed (never sent on — closing a channel is not a
+// blocking send, so appending from the engine's OnResult hook cannot
+// stall the worker pool) and replaced on every append.
+type tail struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+	wake   chan struct{}
+}
+
+func newTail() *tail {
+	return &tail{wake: make(chan struct{})}
+}
+
+// append adds an event and wakes every blocked reader.
+func (t *tail) append(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.events = append(t.events, ev)
+	close(t.wake)
+	t.wake = make(chan struct{})
+}
+
+// finish appends the terminal event and marks the tail complete.
+func (t *tail) finish(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.events = append(t.events, ev)
+	t.closed = true
+	close(t.wake)
+	t.wake = make(chan struct{})
+}
+
+// snapshot returns the events at or past from, whether the tail is
+// complete, and a channel that will be closed on the next append.
+func (t *tail) snapshot(from int) ([]Event, bool, <-chan struct{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var evs []Event
+	if from < len(t.events) {
+		evs = t.events[from:len(t.events):len(t.events)]
+	}
+	return evs, t.closed, t.wake
+}
+
+// marshalEvent renders one event as its JSONL line (no newline).
+func marshalEvent(ev Event) []byte {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		// Event is a plain struct of marshalable fields; this cannot
+		// fail, but a stream must never silently drop a line.
+		return []byte(`{"type":"error","error":"event marshal failed"}`)
+	}
+	return b
+}

@@ -42,6 +42,35 @@ func (c *Collector) Publish(name string) {
 	published[name] = c
 }
 
+var (
+	varMu sync.Mutex
+	// publishedVars maps expvar names to the function currently backing
+	// them — the same rebind-instead-of-panic dance Publish does, for
+	// arbitrary callers (dynex-serve's service counters).
+	publishedVars = map[string]func() any{}
+)
+
+// PublishVar exposes f's return value as the expvar variable name
+// (visible at /debug/vars). Publishing the same name again rebinds it to
+// the new function instead of panicking, so restarted servers and tests
+// can re-publish freely.
+func PublishVar(name string, f func() any) {
+	varMu.Lock()
+	defer varMu.Unlock()
+	if _, ok := publishedVars[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			varMu.Lock()
+			cur := publishedVars[name]
+			varMu.Unlock()
+			if cur == nil {
+				return nil
+			}
+			return cur()
+		}))
+	}
+	publishedVars[name] = f
+}
+
 // ServeDebug starts an HTTP server on addr (e.g. ":6060", or ":0" for an
 // ephemeral port) serving http.DefaultServeMux — which carries
 // /debug/vars (expvar) and /debug/pprof/* (imported above) — in a
