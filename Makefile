@@ -38,16 +38,19 @@ cover:
 bench:
 	go test -bench=. -benchmem .
 
-# Machine-readable run telemetry for the committed BENCH_6.json: a
+# Machine-readable run telemetry for the committed BENCH_8.json: a
 # standard sweep with -report (see DESIGN.md §8). The grid is sized so
 # one synthesized stream feeds 16 batch-kernel cells, which is the
-# throughput story BENCH_6 records (see DESIGN.md §11); run the same
-# command with -scalar for the devirtualization baseline. CI's
-# bench-smoke job runs the same target and asserts the JSON parses.
+# throughput story the report records (see DESIGN.md §11); run the same
+# command with -scalar for the devirtualization baseline. BENCH_8 is
+# the same grid as BENCH_6, regenerated with the obs instrumentation
+# wired in (DESIGN.md §13) — refs/sec must stay within noise of
+# BENCH_6. CI's bench-smoke job runs the same target and asserts the
+# JSON parses.
 bench-report:
 	go run ./cmd/dynex-sweep -bench gcc -refs 2000000 \
 		-sizes 16384,32768,65536,131072 \
-		-policies dm,de,de:store=hashed*4,fifo -report BENCH_6.json > /dev/null
+		-policies dm,de,de:store=hashed*4,fifo -report BENCH_8.json > /dev/null
 
 # Regenerate every paper figure (writes experiments_1m.txt).
 experiments:

@@ -38,6 +38,8 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/telemetry"
 )
 
@@ -136,11 +138,12 @@ func run(ctx context.Context) (err error) {
 		}()
 		if *debugAddr != "" {
 			col.Publish("dynex.experiments")
-			addr, err := telemetry.ServeDebug(*debugAddr)
+			col.SetInstruments(telemetry.DefaultInstruments(policy.Names()))
+			addr, err := obs.ServeDebug(*debugAddr, obs.Default)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "dynex-experiments: debug server on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
+			fmt.Fprintf(os.Stderr, "dynex-experiments: debug server on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", addr)
 		}
 	}
 
@@ -203,11 +206,12 @@ func run(ctx context.Context) (err error) {
 			}
 			fmt.Print(line.String())
 			if journal != nil {
+				saveStart := time.Now()
 				if err := journal.Append(checkpoint.Record{Fingerprint: fp(r.ID), Label: r.ID, Payload: line.String()}); err != nil {
 					return fmt.Errorf("checkpoint: %w", err)
 				}
 				if col != nil {
-					col.CheckpointWrite(r.ID)
+					col.CheckpointWrite(r.ID, time.Since(saveStart))
 				}
 			}
 		}
@@ -238,11 +242,12 @@ func run(ctx context.Context) (err error) {
 		fmt.Printf("== %s: %s  (%.1fs)\n\n", r.ID, r.Title, time.Since(start).Seconds())
 		fmt.Println(res)
 		if journal != nil {
+			saveStart := time.Now()
 			if err := journal.Append(checkpoint.Record{Fingerprint: fp(r.ID), Label: r.ID, Payload: res}); err != nil {
 				return fmt.Errorf("checkpoint: %w", err)
 			}
 			if col != nil {
-				col.CheckpointWrite(r.ID)
+				col.CheckpointWrite(r.ID, time.Since(saveStart))
 			}
 		}
 	}

@@ -31,8 +31,8 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/serve"
-	"repro/internal/telemetry"
 )
 
 func main() {
@@ -56,7 +56,8 @@ func run() error {
 		cellTimeout  = flag.Duration("cell-timeout", 0, "per-cell attempt deadline (0 = none)")
 		drainGrace   = flag.Duration("drain-grace", 10*time.Second, "how long shutdown waits for running jobs before checkpointing them")
 		heartbeat    = flag.Duration("heartbeat", 10*time.Second, "idle heartbeat interval on result streams")
-		debugAddr    = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		reportEvery  = flag.Duration("report-interval", 2*time.Second, "interval between report-delta frames on result streams")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -64,17 +65,18 @@ func run() error {
 	defer stop()
 
 	srv, err := serve.New(serve.Config{
-		DataDir:      *dataDir,
-		QueueDepth:   *queueDepth,
-		MaxActive:    *maxActive,
-		TenantActive: *tenantActive,
-		Workers:      *workers,
-		MaxRefs:      *maxRefs,
-		MaxCells:     *maxCells,
-		Retry:        engine.Retry{Attempts: *retries, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second},
-		CellTimeout:  *cellTimeout,
-		DrainGrace:   *drainGrace,
-		Heartbeat:    *heartbeat,
+		DataDir:        *dataDir,
+		QueueDepth:     *queueDepth,
+		MaxActive:      *maxActive,
+		TenantActive:   *tenantActive,
+		Workers:        *workers,
+		MaxRefs:        *maxRefs,
+		MaxCells:       *maxCells,
+		Retry:          engine.Retry{Attempts: *retries, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second},
+		CellTimeout:    *cellTimeout,
+		DrainGrace:     *drainGrace,
+		Heartbeat:      *heartbeat,
+		ReportInterval: *reportEvery,
 	})
 	if err != nil {
 		return err
@@ -90,11 +92,11 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "dynex-serve: listening on %s (data: %s)\n", ln.Addr(), *dataDir)
 
 	if *debugAddr != "" {
-		dbg, err := telemetry.ServeDebug(*debugAddr)
+		dbg, err := obs.ServeDebug(*debugAddr, srv.Metrics())
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "dynex-serve: debug server on http://%s/debug/vars\n", dbg)
+		fmt.Fprintf(os.Stderr, "dynex-serve: debug server on http://%s/metrics (expvar at /debug/vars)\n", dbg)
 	}
 
 	// Run blocks until the signal arrives, then drains; the HTTP

@@ -51,6 +51,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faultinject"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
@@ -222,11 +223,12 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}()
 		if *debugAddr != "" {
 			col.Publish("dynex.sweep")
-			addr, err := telemetry.ServeDebug(*debugAddr)
+			col.SetInstruments(telemetry.DefaultInstruments(policy.Names()))
+			addr, err := obs.ServeDebug(*debugAddr, obs.Default)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(stderr, "dynex-sweep: debug server on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
+			fmt.Fprintf(stderr, "dynex-sweep: debug server on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", addr)
 		}
 	}
 
@@ -293,10 +295,11 @@ func sweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			if journal != nil {
 				rec := checkpoint.Record{Fingerprint: fps[pendIdx[pi]], Label: r.Label,
 					Stats: r.Stats, Attempts: r.Attempts, WallNS: int64(r.Wall)}
+				saveStart := time.Now()
 				if err := journal.Append(rec); err != nil {
 					fmt.Fprintf(stderr, "dynex-sweep: checkpoint: %v\n", err)
 				} else if col != nil {
-					col.CheckpointWrite(r.Label)
+					col.CheckpointWrite(r.Label, time.Since(saveStart))
 				}
 			}
 			return

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -381,5 +382,106 @@ func TestSweepSpecPolicy(t *testing.T) {
 	// The option comma makes the policy field CSV-quoted.
 	if !strings.Contains(out, `gcc,instr,4096,4,"de:sticky=2,store=hashed*8",`) {
 		t.Errorf("CSV %q does not echo the raw spec in the policy column", out)
+	}
+}
+
+// TestSweepSpanTree runs a real sweep with -trace-events and checks the
+// emitted span IDs reconstruct the expected tree: one job root, one cell
+// span per grid cell (each with its attempt child), and a critical path
+// that descends job -> cell -> attempt. The -trace-summary view must
+// render that path.
+func TestSweepSpanTree(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	args := []string{"-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192",
+		"-policies", "dm,de", "-trace-events", events}
+	if _, _, err := runSweep(t, args...); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := telemetry.ReadEvents(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := telemetry.SpansOf(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := obs.BuildTree(spans)
+	if err != nil {
+		t.Fatalf("sweep events do not build a span tree: %v", err)
+	}
+	if root.Kind != obs.KindJob {
+		t.Fatalf("root span kind %s, want %s", root.Kind, obs.KindJob)
+	}
+	cells := 0
+	for _, c := range root.Children {
+		if c.Kind != obs.KindCell {
+			continue
+		}
+		cells++
+		if len(c.Children) != 1 || c.Children[0].Kind != obs.KindAttempt {
+			t.Errorf("cell %q: want exactly one attempt child, got %d", c.Name, len(c.Children))
+		}
+		if c.DurMS < c.Children[0].DurMS {
+			t.Errorf("cell %q shorter than its attempt: %.3f < %.3f", c.Name, c.DurMS, c.Children[0].DurMS)
+		}
+	}
+	if cells != 4 {
+		t.Fatalf("tree has %d cell spans, want 4", cells)
+	}
+	cp := obs.CriticalPath(root)
+	if len(cp) != 3 || cp[0].Kind != obs.KindJob || cp[1].Kind != obs.KindCell || cp[2].Kind != obs.KindAttempt {
+		t.Fatalf("critical path kinds wrong: %+v", cp)
+	}
+
+	sum, _, err := runSweep(t, "-trace-summary", events)
+	if err != nil {
+		t.Fatalf("-trace-summary: %v", err)
+	}
+	if !strings.Contains(sum, "critical path") {
+		t.Errorf("trace summary missing the critical-path section:\n%s", sum)
+	}
+}
+
+// TestSweepCheckpointFingerprintsUnderObservability pins that turning
+// every observability surface on changes neither the CSV bytes nor the
+// checkpoint fingerprints: a journal written by an instrumented sweep
+// fully satisfies an uninstrumented resume, and vice versa.
+func TestSweepCheckpointFingerprintsUnderObservability(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192", "-policies", "dm,de"}
+
+	bare, _, err := runSweep(t, base...)
+	if err != nil {
+		t.Fatalf("bare run: %v", err)
+	}
+
+	ckpt := filepath.Join(dir, "sweep.jsonl")
+	instrumented := append([]string{"-checkpoint", ckpt,
+		"-report", filepath.Join(dir, "report.json"),
+		"-trace-events", filepath.Join(dir, "events.jsonl")}, base...)
+	got, _, err := runSweep(t, instrumented...)
+	if err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if got != bare {
+		t.Errorf("CSV changed under observability:\n--- bare\n%s--- instrumented\n%s", bare, got)
+	}
+
+	// The uninstrumented resume must find every fingerprint journaled.
+	got2, stderr, err := runSweep(t, append([]string{"-checkpoint", ckpt}, base...)...)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !strings.Contains(stderr, "resuming: 4 of 4 cells journaled, 0 to run") {
+		t.Errorf("observability changed checkpoint fingerprints; stderr = %q", stderr)
+	}
+	if got2 != bare {
+		t.Error("resumed CSV differs from bare run")
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/patterns"
 	"repro/internal/policy"
 	"repro/internal/spec"
@@ -59,6 +60,7 @@ func run(ctx context.Context) error {
 		strategy   = flag.String("strategy", "assume-hit", "hit-last storage with -l2: assume-hit, assume-miss, hashed")
 		benches    = flag.Bool("benches", false, "list benchmarks and exit")
 		reportPath = flag.String("report", "", "write a machine-readable RunReport JSON (simulation wall time, refs/sec) to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -106,8 +108,17 @@ func run(ctx context.Context) error {
 	// -report: one telemetry cell covering the whole simulation, so the
 	// single-run CLI shares the batch drivers' RunReport format.
 	var col *telemetry.Collector
-	if *reportPath != "" {
+	if *reportPath != "" || *debugAddr != "" {
 		col = telemetry.NewCollector(1)
+	}
+	if *debugAddr != "" {
+		col.Publish("dynex.run")
+		col.SetInstruments(telemetry.DefaultInstruments(policy.Names()))
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dynex: debug server on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", addr)
 	}
 	simStart := time.Now()
 	writeReport := func() error {
@@ -115,6 +126,9 @@ func run(ctx context.Context) error {
 			return nil
 		}
 		col.RecordCell(desc+"/"+*policyStr, time.Since(simStart), uint64(len(streamRefs)), nil)
+		if *reportPath == "" {
+			return nil
+		}
 		return col.WriteReport(*reportPath, "dynex "+strings.Join(os.Args[1:], " "))
 	}
 

@@ -96,6 +96,7 @@ func Analyzers() []*Analyzer {
 		ErrFmtAnalyzer,
 		RegistryAnalyzer,
 		BatchStatsAnalyzer,
+		ObsMetricsAnalyzer,
 	}
 }
 

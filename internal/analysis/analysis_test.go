@@ -104,7 +104,7 @@ func TestAllowDirective(t *testing.T) {
 	wantDiags(t, checkFixture(t, "allow"), []string{
 		`p/p.go:21: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
 		`p/p.go:27: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
-		`p/p.go:32: [directive] directive allows unknown check "nosuchcheck" (known: batch-stats, collector-purity, ctx-sleep, determinism, errfmt, fsm-exhaustive, registry)`,
+		`p/p.go:32: [directive] directive allows unknown check "nosuchcheck" (known: batch-stats, collector-purity, ctx-sleep, determinism, errfmt, fsm-exhaustive, obs-metrics, registry)`,
 		`p/p.go:38: [directive] directive "//dynexcheck:allow" is missing a check name`,
 		`p/p.go:43: [directive] malformed directive "//dynexcheck:allowtypo x": want "//dynexcheck:allow <check> <justification>"`,
 	})
@@ -197,4 +197,23 @@ func TestModulePath(t *testing.T) {
 			t.Errorf("modulePath(%q) = %q, want %q", in, got, want)
 		}
 	}
+}
+
+// TestObsMetricsFixture pins the obs-metrics analyzer: inline and local
+// metric names, duplicate registration of a const name, dynamic label
+// slices, and non-constant or zero maxSeries bounds are findings, while
+// const names, const label literals (including named label constants),
+// and positive constant bounds — plain or arithmetic — pass.
+func TestObsMetricsFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "obsmetrics"), []string{
+		`internal/svc/svc.go:31: [obs-metrics] metric name in Registry.NewCounter is not a package-level const: declare the name as a const so the series is greppable and stable`,
+		`internal/svc/svc.go:33: [obs-metrics] metric name in Registry.NewGauge is not a package-level const: declare the name as a const so the series is greppable and stable`,
+		`internal/svc/svc.go:34: [obs-metrics] metric "svc_jobs_total" is already registered at internal/svc/svc.go:23: register each name exactly once`,
+		`internal/svc/svc.go:35: [obs-metrics] metric "svc_queue_depth" is already registered at internal/svc/svc.go:24: register each name exactly once`,
+		`internal/svc/svc.go:35: [obs-metrics] labels of Registry.NewCounterVec must be a composite literal of string constants: the label set is part of the metric's declared shape`,
+		`internal/svc/svc.go:36: [obs-metrics] metric "svc_wait_seconds" is already registered at internal/svc/svc.go:25: register each name exactly once`,
+		`internal/svc/svc.go:36: [obs-metrics] maxSeries of Registry.NewGaugeVec must be a positive constant: the cardinality bound is part of the metric's declared shape`,
+		`internal/svc/svc.go:37: [obs-metrics] metric "svc_by_user_total" is already registered at internal/svc/svc.go:26: register each name exactly once`,
+		`internal/svc/svc.go:37: [obs-metrics] maxSeries of Registry.NewHistogramVec must be a positive constant: the cardinality bound is part of the metric's declared shape`,
+	})
 }

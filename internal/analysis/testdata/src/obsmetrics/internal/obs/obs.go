@@ -1,0 +1,28 @@
+// Package obs mirrors the real metrics registry's registration surface
+// for the obs-metrics fixture.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type CounterVec struct{}
+type GaugeVec struct{}
+type HistogramVec struct{}
+
+func (r *Registry) NewCounter(name, help string) *Counter             { return &Counter{} }
+func (r *Registry) NewGauge(name, help string) *Gauge                 { return &Gauge{} }
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {}
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	return &Histogram{}
+}
+func (r *Registry) NewCounterVec(name, help string, labels []string, maxSeries int) *CounterVec {
+	return &CounterVec{}
+}
+func (r *Registry) NewGaugeVec(name, help string, labels []string, maxSeries int) *GaugeVec {
+	return &GaugeVec{}
+}
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels []string, maxSeries int) *HistogramVec {
+	return &HistogramVec{}
+}

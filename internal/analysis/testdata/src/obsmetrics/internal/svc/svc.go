@@ -1,0 +1,38 @@
+// Package svc exercises the obs-metrics rule: inline metric names,
+// duplicate registrations, dynamic label sets, and unbounded
+// cardinality are findings; const names, const label literals, and
+// positive constant bounds pass.
+package svc
+
+import "fix/internal/obs"
+
+const (
+	MetricJobs    = "svc_jobs_total"
+	MetricQueue   = "svc_queue_depth"
+	MetricWait    = "svc_wait_seconds"
+	MetricByUser  = "svc_by_user_total"
+	MetricByShard = "svc_by_shard_seconds"
+	maxUsers      = 64
+	zeroBound     = 0
+)
+
+// labelUser is a named label constant; allowed inside label literals.
+const labelUser = "user"
+
+func registerClean(reg *obs.Registry) {
+	reg.NewCounter(MetricJobs, "jobs")
+	reg.NewGauge(MetricQueue, "depth")
+	reg.NewHistogram(MetricWait, "wait", []float64{0.1, 1})
+	reg.NewCounterVec(MetricByUser, "per user", []string{labelUser, "verb"}, maxUsers)
+	reg.NewHistogramVec(MetricByShard, "per shard", []float64{0.1, 1}, []string{"shard"}, 2*maxUsers)
+}
+
+func registerBad(reg *obs.Registry, dynamicLabels []string, n int) {
+	reg.NewCounter("svc_inline_total", "inline name")                        // want: not a package-level const
+	name := MetricJobs + "_again"                                            // local, not package-level
+	reg.NewGauge(name, "local name")                                         // want: not a package-level const
+	reg.NewCounter(MetricJobs, "dup")                                        // want: already registered
+	reg.NewCounterVec(MetricQueue, "dyn", dynamicLabels, maxUsers)           // want: dup + dynamic labels
+	reg.NewGaugeVec(MetricWait, "unbounded", []string{"a"}, n)               // want: dup + non-constant bound
+	reg.NewHistogramVec(MetricByUser, "zero", nil, []string{"a"}, zeroBound) // want: dup + zero bound
+}

@@ -80,6 +80,12 @@ type Result struct {
 	// Attempts is the number of times the cell was run (1 without retry;
 	// 0 for cells skipped after cancellation).
 	Attempts int
+	// Extras snapshots the simulator's policy-specific counters
+	// (cache.Instrumented) after the winning attempt — sticky defenses,
+	// exclusion flips, victim hits. Nil for failed cells, Direct cells,
+	// and policies without counters. Purely observational: nothing in
+	// Stats or the CSV output derives from it.
+	Extras []cache.Counter
 	// Err is the cell's failure (the last attempt's error), or the
 	// context error for cells skipped after cancellation.
 	Err error
@@ -178,7 +184,7 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]Result, error) {
 			opts.Collector.CellFinished(CellFinish{
 				Index: i, Label: r.Label, QueueWait: queueWait, Wall: r.Wall,
 				Attempts: r.Attempts, Refs: r.Stats.Accesses,
-				Outcome: OutcomeOf(r.Err), Err: r.Err,
+				Outcome: OutcomeOf(r.Err), Err: r.Err, Extras: r.Extras,
 			})
 		}
 		d := int(done.Add(1))
@@ -299,6 +305,7 @@ func attemptCell(ctx context.Context, c Cell, timeout time.Duration) (res Result
 			return res
 		}
 		res.Stats = sim.Stats()
+		res.Extras = cache.SnapshotExtras(sim)
 	case c.Direct != nil && c.Policy == nil:
 		res.Stats, res.Err = c.Direct(refs, c.Geometry)
 		if res.Err != nil {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"time"
+
+	"repro/internal/cache"
 )
 
 // This file is the engine's observation surface: a Collector registered in
@@ -87,6 +89,10 @@ type CellFinish struct {
 	Refs    uint64
 	Outcome string
 	Err     error
+	// Extras echoes Result.Extras: the policy-specific counter snapshot
+	// of the winning attempt (nil for failed/Direct/uninstrumented
+	// cells), so collectors can surface FSM behavior live.
+	Extras []cache.Counter
 }
 
 // Collector observes a Run. Methods are called from worker goroutines

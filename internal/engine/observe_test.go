@@ -138,3 +138,70 @@ func TestOutcomeOf(t *testing.T) {
 		}
 	}
 }
+
+// countingSim wraps a simulator with a policy-style counter, standing in
+// for the dynamic-exclusion sims' Extras() surface.
+type countingSim struct {
+	cache.Simulator
+	accesses uint64
+}
+
+func (c *countingSim) Access(addr uint64) cache.Result {
+	c.accesses++
+	return c.Simulator.Access(addr)
+}
+
+func (c *countingSim) Extras() []cache.Counter {
+	return []cache.Counter{{Name: "accesses_seen", Value: c.accesses}}
+}
+
+// TestRunExtrasSnapshot checks the engine snapshots Instrumented sims'
+// policy counters into Result.Extras and echoes them on CellFinish —
+// and that the snapshot is purely observational: headline stats are
+// identical with and without the counters in play.
+func TestRunExtrasSnapshot(t *testing.T) {
+	geom := cache.DM(64, 4)
+	refs := seqRefs(0, 128)
+	mk := func(instrumented bool) []Cell {
+		pol := dmPolicy
+		if instrumented {
+			pol = func(g cache.Geometry) (cache.Simulator, error) {
+				sim, err := cache.NewDirectMapped(g)
+				if err != nil {
+					return nil, err
+				}
+				return &countingSim{Simulator: sim}, nil
+			}
+		}
+		return []Cell{{
+			Label:    "cell",
+			Geometry: geom,
+			Stream:   func() ([]trace.Ref, error) { return refs, nil },
+			Policy:   pol,
+		}}
+	}
+
+	bare, err := Run(context.Background(), mk(false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare[0].Extras != nil {
+		t.Errorf("uninstrumented sim produced Extras: %+v", bare[0].Extras)
+	}
+
+	col := &memCollector{}
+	got, err := Run(context.Background(), mk(true), Options{Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Stats != bare[0].Stats {
+		t.Errorf("Extras snapshot changed headline stats: %+v vs %+v", got[0].Stats, bare[0].Stats)
+	}
+	want := []cache.Counter{{Name: "accesses_seen", Value: uint64(len(refs))}}
+	if len(got[0].Extras) != 1 || got[0].Extras[0] != want[0] {
+		t.Errorf("Result.Extras = %+v, want %+v", got[0].Extras, want)
+	}
+	if len(col.finishes) != 1 || len(col.finishes[0].Extras) != 1 || col.finishes[0].Extras[0] != want[0] {
+		t.Errorf("CellFinish.Extras = %+v, want %+v", col.finishes, want)
+	}
+}

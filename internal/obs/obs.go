@@ -1,0 +1,325 @@
+// Package obs is the repo's observability layer: a stdlib-only metrics
+// registry (typed counters, gauges, and fixed-bucket histograms with
+// bounded label cardinality) exposed in Prometheus text exposition
+// format, a lightweight span model for the JSONL event trace, and the
+// unified debug surface every CLI and the serve daemon mount behind
+// -debug-addr (/debug/vars, /debug/pprof/*, /metrics).
+//
+// The layer is built for passivity: instrument updates are a few atomic
+// operations (histograms take a short mutex), nothing on the simulation
+// batch hot path touches it, and scraping walks a snapshot — a scrape
+// can never block a simulation. DESIGN.md §13 documents the model and
+// the dynexcheck obs-metrics rule that machine-checks the conventions
+// (metric names are package-level consts, each registered exactly once,
+// label cardinality bounded).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a process- or server-scoped set of metric families.
+// Registration is construct-time and panics on conflict: a duplicate
+// name or an invalid name is a programming error, caught by tests and
+// the dynexcheck obs-metrics rule, never a runtime condition to handle.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family // exposition order = registration order
+}
+
+// Default is the process-wide registry the CLIs publish to; dynex-serve
+// creates one Registry per server instead so restarted and test servers
+// never collide.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// metric family kinds, as rendered in the # TYPE exposition line.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one registered metric name: its metadata plus the labeled
+// series map (scalar metrics are the one series with an empty key).
+type family struct {
+	name, help, kind string
+	labels           []string  // label names; empty for scalar metrics
+	buckets          []float64 // histogram upper bounds, ascending
+	maxSeries        int       // label cardinality bound (vec metrics)
+	fn               func() float64
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string // series keys in first-touch order
+}
+
+// series is one (metric, label values) time series. Counters count in
+// integers; gauges store float64 bits; histograms bucket under their
+// own mutex (observations happen per finished cell, not per reference,
+// so the lock is uncontended in practice).
+type series struct {
+	labelValues []string
+
+	count atomic.Uint64 // counter value
+	bits  atomic.Uint64 // gauge float64 bits
+
+	hmu     sync.Mutex
+	hcounts []uint64 // per-bucket cumulative-format counts (non-cumulative here)
+	hsum    float64
+	hn      uint64
+}
+
+// overflowValue replaces every label value of a series past a vec's
+// cardinality bound, so an unbounded label source (tenant names) can
+// never grow the registry without bound.
+const overflowValue = "_overflow"
+
+// register adds a family or panics on a duplicate or invalid name.
+func (r *Registry) register(f *family) *family {
+	if !validName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", f.name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.fams {
+		if have.name == f.name {
+			panic(fmt.Sprintf("obs: metric %q registered twice", f.name))
+		}
+	}
+	f.series = map[string]*series{}
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// validName accepts the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the series for the label values, creating it under the
+// cardinality bound; past the bound, every new combination collapses
+// into the shared overflow series.
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	if f.maxSeries > 0 && len(f.series) >= f.maxSeries {
+		values = make([]string, len(f.labels))
+		for i := range values {
+			values[i] = overflowValue
+		}
+		key = strings.Join(values, "\xff")
+		if s, ok := f.series[key]; ok {
+			return s
+		}
+	}
+	s := &series{labelValues: append([]string(nil), values...)}
+	if f.kind == kindHistogram {
+		s.hcounts = make([]uint64, len(f.buckets)+1)
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ s *series }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.s.count.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.s.count.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.s.count.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.s.bits.Load()
+		if g.s.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// Histogram is a fixed-bucket latency/size distribution.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe books one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
+	h.s.hmu.Lock()
+	h.s.hcounts[i]++
+	h.s.hsum += v
+	h.s.hn++
+	h.s.hmu.Unlock()
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	h.s.hmu.Lock()
+	defer h.s.hmu.Unlock()
+	return h.s.hn
+}
+
+// NewCounter registers a scalar counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, kind: kindCounter})
+	return &Counter{s: f.get(nil)}
+}
+
+// NewGauge registers a scalar gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, kind: kindGauge})
+	return &Gauge{s: f.get(nil)}
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// NewHistogram registers a scalar histogram over the given ascending
+// bucket upper bounds (an implicit +Inf bucket is always appended).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(&family{name: name, help: help, kind: kindHistogram, buckets: checkBuckets(name, buckets)})
+	return &Histogram{f: f, s: f.get(nil)}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers a labeled counter family. maxSeries bounds the
+// label cardinality: combinations past it collapse into one overflow
+// series, so an unbounded label source cannot grow the registry.
+func (r *Registry) NewCounterVec(name, help string, labels []string, maxSeries int) *CounterVec {
+	return &CounterVec{f: r.register(&family{
+		name: name, help: help, kind: kindCounter,
+		labels: append([]string(nil), labels...), maxSeries: checkMax(name, maxSeries),
+	})}
+}
+
+// WithLabelValues returns the series for the label values, in the order
+// the labels were declared.
+func (v *CounterVec) WithLabelValues(values ...string) *Counter {
+	return &Counter{s: v.f.get(values)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers a labeled gauge family (cardinality-bounded like
+// NewCounterVec).
+func (r *Registry) NewGaugeVec(name, help string, labels []string, maxSeries int) *GaugeVec {
+	return &GaugeVec{f: r.register(&family{
+		name: name, help: help, kind: kindGauge,
+		labels: append([]string(nil), labels...), maxSeries: checkMax(name, maxSeries),
+	})}
+}
+
+// WithLabelValues returns the series for the label values.
+func (v *GaugeVec) WithLabelValues(values ...string) *Gauge {
+	return &Gauge{s: v.f.get(values)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers a labeled histogram family
+// (cardinality-bounded like NewCounterVec).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels []string, maxSeries int) *HistogramVec {
+	return &HistogramVec{f: r.register(&family{
+		name: name, help: help, kind: kindHistogram, buckets: checkBuckets(name, buckets),
+		labels: append([]string(nil), labels...), maxSeries: checkMax(name, maxSeries),
+	})}
+}
+
+// WithLabelValues returns the series for the label values.
+func (v *HistogramVec) WithLabelValues(values ...string) *Histogram {
+	return &Histogram{f: v.f, s: v.f.get(values)}
+}
+
+func checkMax(name string, maxSeries int) int {
+	if maxSeries <= 0 {
+		panic(fmt.Sprintf("obs: metric %s needs a positive label cardinality bound", name))
+	}
+	return maxSeries
+}
+
+func checkBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %s needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not strictly ascending", name))
+		}
+	}
+	return append([]float64(nil), buckets...)
+}
+
+// ExpBuckets returns n strictly ascending bounds starting at start and
+// multiplying by factor — the standard shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets are the default seconds-unit bounds for cell/queue
+// latency histograms: 1ms to ~2min, doubling.
+func DurationBuckets() []float64 { return ExpBuckets(0.001, 2, 18) }

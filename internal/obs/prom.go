@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4). Families appear in registration
+// order; series within a family are sorted by label values so scrapes
+// are deterministic regardless of touch order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if f.fn != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn())); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, s := range f.snapshot() {
+			if err := f.writeSeries(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seriesSnapshot is a consistent copy of one series' state, taken under
+// the family lock so exposition never races instrument updates.
+type seriesSnapshot struct {
+	labels  string // rendered {k="v",...} or ""
+	count   uint64
+	gauge   float64
+	hcounts []uint64
+	hsum    float64
+	hn      uint64
+}
+
+// snapshot copies every series under the locks, sorted by label values.
+func (f *family) snapshot() []seriesSnapshot {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	out := make([]seriesSnapshot, 0, len(keys))
+	for _, key := range keys {
+		s := f.series[key]
+		snap := seriesSnapshot{labels: renderLabels(f.labels, s.labelValues)}
+		switch f.kind {
+		case kindCounter:
+			snap.count = s.count.Load()
+		case kindGauge:
+			snap.gauge = math.Float64frombits(s.bits.Load())
+		case kindHistogram:
+			s.hmu.Lock()
+			snap.hcounts = append([]uint64(nil), s.hcounts...)
+			snap.hsum = s.hsum
+			snap.hn = s.hn
+			s.hmu.Unlock()
+		}
+		out = append(out, snap)
+	}
+	f.mu.Unlock()
+	return out
+}
+
+func (f *family) writeSeries(w io.Writer, s seriesSnapshot) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.count)
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge))
+		return err
+	case kindHistogram:
+		// _bucket series are cumulative; the stored counts are per-bucket.
+		var cum uint64
+		for i, bound := range f.buckets {
+			cum += s.hcounts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, formatFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.hcounts[len(f.buckets)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(s.hsum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.hn)
+		return err
+	}
+	return nil
+}
+
+// renderLabels formats {k="v",...}; empty for scalar series.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLE splices le="bound" into a rendered label set (or starts one).
+func withLE(labels, bound string) string {
+	if labels == "" {
+		return `{le="` + bound + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + bound + `"}`
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// formatFloat renders values the way Prometheus clients expect:
+// integers without an exponent, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

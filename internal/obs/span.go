@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Span kinds, mirroring the run hierarchy: one job span roots the run,
+// cells hang off the job, attempts off their cell, and checkpoint saves
+// off the job (they serialize whole-run state, not one cell's).
+const (
+	KindJob        = "job"
+	KindCell       = "cell"
+	KindAttempt    = "attempt"
+	KindCheckpoint = "checkpoint"
+)
+
+// Span is one timed node in a run's trace tree. IDs are allocated by
+// the telemetry collector (monotonic per run, 1 = the job span); Parent
+// is 0 only on the root. Times are milliseconds since run start, the
+// same clock as the JSONL events' at_ms.
+type Span struct {
+	ID      uint64
+	Parent  uint64
+	Kind    string
+	Name    string
+	StartMS float64
+	DurMS   float64
+}
+
+// End returns the span's end time on the run clock.
+func (s Span) End() float64 { return s.StartMS + s.DurMS }
+
+// Node is a span with its resolved children, ordered by start time.
+type Node struct {
+	Span
+	Children []*Node
+}
+
+// BuildTree resolves parent links into a tree, validating what the
+// golden tests pin: IDs unique, parents resolvable, exactly one root,
+// no cycles (every span reachable from the root).
+func BuildTree(spans []Span) (*Node, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("obs: no spans")
+	}
+	nodes := make(map[uint64]*Node, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 {
+			return nil, fmt.Errorf("obs: span %q has zero ID", s.Name)
+		}
+		if _, dup := nodes[s.ID]; dup {
+			return nil, fmt.Errorf("obs: duplicate span ID %d", s.ID)
+		}
+		nodes[s.ID] = &Node{Span: s}
+	}
+	var root *Node
+	for _, n := range nodes {
+		if n.Parent == 0 {
+			if root != nil {
+				return nil, fmt.Errorf("obs: multiple root spans (%d and %d)", root.ID, n.ID)
+			}
+			root = n
+			continue
+		}
+		p, ok := nodes[n.Parent]
+		if !ok {
+			return nil, fmt.Errorf("obs: span %d references missing parent %d", n.ID, n.Parent)
+		}
+		p.Children = append(p.Children, n)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("obs: no root span")
+	}
+	reached := 0
+	var walk func(*Node)
+	var cyc error
+	seen := make(map[uint64]bool, len(nodes))
+	walk = func(n *Node) {
+		if seen[n.ID] {
+			cyc = fmt.Errorf("obs: span %d visited twice (cycle)", n.ID)
+			return
+		}
+		seen[n.ID] = true
+		reached++
+		sort.Slice(n.Children, func(i, j int) bool {
+			a, b := n.Children[i], n.Children[j]
+			if a.StartMS != b.StartMS {
+				return a.StartMS < b.StartMS
+			}
+			return a.ID < b.ID
+		})
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if cyc != nil {
+		return nil, cyc
+	}
+	if reached != len(nodes) {
+		return nil, fmt.Errorf("obs: %d of %d spans unreachable from root", len(nodes)-reached, len(nodes))
+	}
+	return root, nil
+}
+
+// CriticalPath walks from the root to a leaf, at each level descending
+// into the child that finishes last — the chain that bounded the run's
+// wall time. For a parallel sweep this names the job's slowest cell and
+// that cell's slowest attempt.
+func CriticalPath(root *Node) []*Node {
+	path := []*Node{root}
+	n := root
+	for len(n.Children) > 0 {
+		last := n.Children[0]
+		for _, c := range n.Children[1:] {
+			if c.End() > last.End() || (c.End() == last.End() && c.ID < last.ID) {
+				last = c
+			}
+		}
+		path = append(path, last)
+		n = last
+	}
+	return path
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func spanFixture() []Span {
+	return []Span{
+		{ID: 1, Kind: KindJob, Name: "sweep", StartMS: 0, DurMS: 100},
+		{ID: 2, Parent: 1, Kind: KindCell, Name: "gcc/4096/16/dm", StartMS: 1, DurMS: 40},
+		{ID: 3, Parent: 1, Kind: KindCell, Name: "gcc/4096/16/de", StartMS: 2, DurMS: 90},
+		{ID: 4, Parent: 2, Kind: KindAttempt, Name: "attempt 1", StartMS: 1, DurMS: 40},
+		{ID: 5, Parent: 3, Kind: KindAttempt, Name: "attempt 1", StartMS: 2, DurMS: 30},
+		{ID: 6, Parent: 3, Kind: KindAttempt, Name: "attempt 2", StartMS: 40, DurMS: 52},
+		{ID: 7, Parent: 1, Kind: KindCheckpoint, Name: "checkpoint", StartMS: 45, DurMS: 2},
+	}
+}
+
+func TestBuildTreeAndCriticalPath(t *testing.T) {
+	root, err := BuildTree(spanFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.ID != 1 || len(root.Children) != 3 {
+		t.Fatalf("root = %d with %d children, want 1 with 3", root.ID, len(root.Children))
+	}
+	// Children sorted by start time.
+	order := []uint64{2, 3, 7}
+	for i, c := range root.Children {
+		if c.ID != order[i] {
+			t.Errorf("child[%d] = %d, want %d", i, c.ID, order[i])
+		}
+	}
+	path := CriticalPath(root)
+	var ids []uint64
+	for _, n := range path {
+		ids = append(ids, n.ID)
+	}
+	// Job → slowest cell (de, ends at 92) → its slowest attempt (2, ends at 92).
+	want := []uint64{1, 3, 6}
+	if len(ids) != len(want) {
+		t.Fatalf("critical path = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("critical path = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestBuildTreeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		spans []Span
+		want  string
+	}{
+		{"empty", nil, "no spans"},
+		{"zero id", []Span{{ID: 0, Name: "x"}}, "zero ID"},
+		{"dup id", []Span{{ID: 1}, {ID: 1}}, "duplicate span ID"},
+		{"missing parent", []Span{{ID: 1}, {ID: 2, Parent: 9}}, "missing parent"},
+		{"two roots", []Span{{ID: 1}, {ID: 2}}, "multiple root spans"},
+		{"no root", []Span{{ID: 1, Parent: 2}, {ID: 2, Parent: 1}}, "no root"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := BuildTree(tc.spans)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // maxTraceUpload bounds POST /v1/traces bodies — backpressure applies
@@ -34,10 +36,14 @@ const maxTraceUpload = 64 << 20
 //	GET    /healthz               process liveness
 //	GET    /readyz                admission readiness (503 while
 //	                              draining or backlogged)
+//	GET    /metrics               Prometheus text exposition
+//	GET    /debug/vars            expvar counters
+//	GET    /debug/pprof/          live profiling
 //
 // The tenant is the X-Tenant header; absent means "anon".
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	obs.RegisterDebug(mux, s.obsm.reg)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -217,6 +223,16 @@ func (s *Server) ensureTail(j *job) {
 				}
 				journal.Close()
 			}
+		}
+	}
+	// A rebuilt tail replays the final report-delta frame too: the
+	// stream's contract is that its last report-delta is the end-of-job
+	// report, restart or not. Compacted so the bytes match what the live
+	// run appended.
+	if data, err := os.ReadFile(filepath.Join(s.st.jobDir(m.ID), "report.json")); err == nil {
+		var compact bytes.Buffer
+		if json.Compact(&compact, data) == nil {
+			t.append(Event{Type: "report-delta", Final: true, Report: compact.Bytes()})
 		}
 	}
 	t.finish(Event{Type: "done", State: m.State, Error: m.Error})

@@ -197,6 +197,10 @@ type job struct {
 	total    int
 	resumed  int // cells restored from the journal on this run
 	deadline time.Time
+	// enqueuedAt is when the job entered the queue (admission or crash
+	// recovery) — the start point of the queue-wait histogram. Immutable
+	// after construction, so readable without the lock.
+	enqueuedAt time.Time
 }
 
 func (j *job) manifest() Manifest {

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -30,6 +33,7 @@ func (s *Server) runJob(j *job) {
 	if j.state() == StateCancelled {
 		return // cancelled while queued; the slot was claimed anyway
 	}
+	s.observeQueueWait(j.enqueuedAt)
 	if s.cfg.BeforeJob != nil {
 		s.cfg.BeforeJob(m.ID)
 	}
@@ -55,6 +59,7 @@ func (s *Server) runJob(j *job) {
 		j.mu.Unlock()
 		s.setState(j, StateDone, "")
 		s.metrics.JobsDone.Add(1)
+		s.obsm.jobsDone.Inc()
 		done, total := j.progress()
 		j.tail.finish(Event{Type: "done", State: StateDone, Done: done, Total: total})
 	case errors.Is(err, errJobCancelled):
@@ -63,6 +68,7 @@ func (s *Server) runJob(j *job) {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.setState(j, StateFailed, "job deadline exceeded")
 		s.metrics.JobsFailed.Add(1)
+		s.obsm.jobsFailed.Inc()
 		j.tail.finish(Event{Type: "done", State: StateFailed, Error: "job deadline exceeded"})
 	case errors.Is(err, errShutdown), errors.Is(err, context.Canceled):
 		// Drain or kill: leave the manifest saying "running" so the next
@@ -73,6 +79,7 @@ func (s *Server) runJob(j *job) {
 	default:
 		s.setState(j, StateFailed, err.Error())
 		s.metrics.JobsFailed.Add(1)
+		s.obsm.jobsFailed.Inc()
 		j.tail.finish(Event{Type: "done", State: StateFailed, Error: err.Error()})
 	}
 }
@@ -120,6 +127,7 @@ func (s *Server) executeJob(ctx context.Context, j *job) (int, error) {
 	j.resumed = resumed
 	j.mu.Unlock()
 	s.metrics.ResumedCells.Add(uint64(resumed))
+	s.obsm.cellsResumed.Add(uint64(resumed))
 	for i := range plan.Cells {
 		if i < len(merged) && merged[i].Attempts > 0 {
 			j.tail.append(cellEvent(i, merged[i], true))
@@ -127,7 +135,34 @@ func (s *Server) executeJob(ctx context.Context, j *job) (int, error) {
 	}
 
 	col := telemetry.NewCollector(len(pendCells))
+	col.SetInstruments(s.obsm.inst)
 	col.Start("dynex-serve job " + m.ID)
+	// Periodic report-delta frames: a point-in-time RunReport snapshot on
+	// the job's stream every ReportInterval, so a client watching the
+	// JSONL/SSE feed sees live refs/sec and quantiles without polling the
+	// report endpoint. The ticker stops (and is awaited) before the final
+	// frame so the stream's last report-delta is always the pinned one.
+	reportCmd := "dynex-serve job " + m.ID
+	tickStop := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		tick := time.NewTicker(s.cfg.ReportInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tickStop:
+				return
+			case <-tick.C:
+				rep := col.Report()
+				rep.Command = reportCmd
+				if data, err := json.Marshal(rep); err == nil {
+					j.tail.append(Event{Type: "report-delta", Report: data})
+					s.obsm.reportDeltas.Inc()
+				}
+			}
+		}
+	}()
 	_, runErr := engine.Run(ctx, pendCells, engine.Options{
 		Workers:     s.cfg.Workers,
 		Retry:       s.cfg.Retry,
@@ -159,15 +194,37 @@ func (s *Server) executeJob(ctx context.Context, j *job) (int, error) {
 			}
 			merged[i] = r
 			s.metrics.CellsRun.Add(1)
+			s.obsm.cellsDone.Inc()
 			j.mu.Lock()
 			j.done++
 			j.mu.Unlock()
 			j.tail.append(cellEvent(i, r, false))
 		},
 	})
+	close(tickStop)
+	<-tickDone
 	col.Finish()
-	// Telemetry is passive: a report write failure never fails the job.
-	_ = col.WriteReport(filepath.Join(s.st.jobDir(m.ID), "report.json"), "dynex-serve job "+m.ID)
+	// The end-of-job report is rendered once and used twice: written to
+	// report.json (indented — what GET /v1/jobs/{id}/report serves) and
+	// appended to the stream as the final report-delta frame (compact).
+	// Same marshal, two spacings, so the stream's final frame is pinned
+	// byte-identical to the report endpoint modulo indentation. A drain
+	// or kill skips both — the resumed run produces the real final.
+	rep := col.Report()
+	rep.Command = reportCmd
+	if data, err := json.Marshal(rep); err == nil {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, data, "", "  "); err == nil {
+			pretty.WriteByte('\n')
+			// Telemetry is passive: a report write failure never fails
+			// the job.
+			_ = os.WriteFile(filepath.Join(s.st.jobDir(m.ID), "report.json"), pretty.Bytes(), 0o644)
+		}
+		if runErr == nil {
+			j.tail.append(Event{Type: "report-delta", Final: true, Report: data})
+			s.obsm.reportDeltas.Inc()
+		}
+	}
 	if runErr != nil {
 		// Prefer the cancellation cause: a client cancel and a drain both
 		// surface as context.Canceled, but must land in different states.

@@ -65,6 +65,9 @@ type Config struct {
 	// Heartbeat is the idle interval between heartbeat events on result
 	// streams. Default 10s.
 	Heartbeat time.Duration
+	// ReportInterval is how often a running job's stream gets a
+	// report-delta frame (a point-in-time RunReport snapshot). Default 2s.
+	ReportInterval time.Duration
 	// EnableFaults allows the job spec's "inject" directive — the load
 	// suite's deterministic fault injection. Off for real servers.
 	EnableFaults bool
@@ -92,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.Heartbeat <= 0 {
 		c.Heartbeat = 10 * time.Second
 	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = 2 * time.Second
+	}
 	return c
 }
 
@@ -118,6 +124,9 @@ type Server struct {
 	wg         sync.WaitGroup // dispatcher + running jobs
 
 	metrics Metrics
+	// obsm is the typed metrics surface behind GET /metrics; the flat
+	// Metrics atomics above stay for the /debug/vars expvar snapshot.
+	obsm *serveMetrics
 }
 
 // New builds a server over dataDir and runs crash recovery: every
@@ -138,6 +147,7 @@ func New(cfg Config) (*Server, error) {
 		jobsCtx:    jobsCtx,
 		jobsCancel: jobsCancel,
 	}
+	s.obsm = newServeMetrics(s.q)
 	manifests, err := st.loadManifests()
 	if err != nil {
 		return nil, err
@@ -161,9 +171,11 @@ func New(cfg Config) (*Server, error) {
 		// re-enqueue bypasses the admission bound — the job was already
 		// admitted and acknowledged.
 		j.tail = newTail()
+		j.enqueuedAt = time.Now()
 		s.jobs[m.ID] = j
 		s.q.pushRecovered(j)
 		s.metrics.ResumedJobs.Add(1)
+		s.obsm.jobsResumed.Inc()
 	}
 	s.publish("dynex.serve")
 	return s, nil
@@ -204,6 +216,7 @@ func (s *Server) Run(ctx context.Context) error {
 		<-finished
 	}
 	s.metrics.DrainNanos.Store(int64(time.Since(drainStart)))
+	s.obsm.drain.Set(time.Since(drainStart).Seconds())
 	return nil
 }
 
@@ -227,6 +240,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) submit(tenant string, js JobSpec) (Manifest, error) {
 	if err := js.validate(s.cfg); err != nil {
 		s.metrics.RejectedBad.Add(1)
+		s.obsm.rejected.WithLabelValues(tenant, rejectValidation).Inc()
 		return Manifest{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
 	}
 	// If the spec names an uploaded trace, it must exist now — not when
@@ -234,6 +248,7 @@ func (s *Server) submit(tenant string, js JobSpec) (Manifest, error) {
 	if js.Trace != "" {
 		if _, err := s.st.readTrace(traceDigest(js.Trace)); err != nil {
 			s.metrics.RejectedBad.Add(1)
+			s.obsm.rejected.WithLabelValues(tenant, rejectValidation).Inc()
 			return Manifest{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
 		}
 	}
@@ -243,7 +258,7 @@ func (s *Server) submit(tenant string, js JobSpec) (Manifest, error) {
 	s.seq++
 	id := fmt.Sprintf("j%06d", seq)
 	m := Manifest{ID: id, Tenant: tenant, Seq: seq, Spec: js, State: StateQueued}
-	j := &job{m: m, tail: newTail()}
+	j := &job{m: m, tail: newTail(), enqueuedAt: time.Now()}
 	nsrc := len(js.Benches)
 	if js.Trace != "" {
 		nsrc = 1
@@ -262,6 +277,7 @@ func (s *Server) submit(tenant string, js JobSpec) (Manifest, error) {
 		// Refused: roll the durable record back to a terminal state so a
 		// restart does not resurrect a job the client was told to retry.
 		s.metrics.Rejected429.Add(1)
+		s.obsm.rejected.WithLabelValues(tenant, rejectBackpressure).Inc()
 		s.setState(j, StateCancelled, "refused: queue full")
 		code := http.StatusTooManyRequests
 		if s.draining.Load() {
@@ -270,6 +286,7 @@ func (s *Server) submit(tenant string, js JobSpec) (Manifest, error) {
 		return Manifest{}, &httpError{code: code, msg: "queue full, retry later", retryAfter: 1}
 	}
 	s.metrics.Admitted.Add(1)
+	s.obsm.admitted.WithLabelValues(tenant).Inc()
 	return m, nil
 }
 

@@ -534,6 +534,7 @@ func TestServeStreamAndCancel(t *testing.T) {
 	}
 	close(release)
 	var cells int
+	var finalReport []byte
 	for {
 		if err := dec.Decode(&ev); err != nil {
 			t.Fatalf("stream ended early: %v", err)
@@ -544,12 +545,22 @@ func TestServeStreamAndCancel(t *testing.T) {
 			if ev.MissRate == "" || ev.Accesses == 0 {
 				t.Errorf("cell event missing payload: %+v", ev)
 			}
+		case "report-delta":
+			if len(ev.Report) == 0 {
+				t.Errorf("report-delta without a report payload: %+v", ev)
+			}
+			if ev.Final {
+				finalReport = append([]byte(nil), ev.Report...)
+			}
 		case "done":
 			if cells != 2 {
 				t.Errorf("streamed %d cells, want 2", cells)
 			}
 			if ev.State != StateDone {
 				t.Errorf("done event state %s", ev.State)
+			}
+			if finalReport == nil {
+				t.Error("stream finished without a final report-delta frame")
 			}
 			goto sse
 		case "heartbeat": // allowed between cells
@@ -577,12 +588,32 @@ sse:
 		t.Errorf("SSE framing missing:\n%s", body)
 	}
 
-	// The job report is a RunReport JSON.
+	// The job report is a RunReport JSON, and the stream's final
+	// report-delta frame is pinned to it: compacting the endpoint's
+	// indented body must reproduce the frame's bytes exactly.
+	reportResp, err := http.Get(ts.URL + "/v1/jobs/" + running + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportBody, _ := io.ReadAll(reportResp.Body)
+	reportResp.Body.Close()
+	if reportResp.StatusCode != http.StatusOK {
+		t.Fatalf("report status %d", reportResp.StatusCode)
+	}
 	var report map[string]any
-	if code := getJSON(t, ts.URL+"/v1/jobs/"+running+"/report", &report); code != http.StatusOK {
-		t.Errorf("report status %d", code)
-	} else if report["schema"] == nil {
+	if err := json.Unmarshal(reportBody, &report); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if report["schema"] == nil {
 		t.Error("report missing schema field")
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, reportBody); err != nil {
+		t.Fatal(err)
+	}
+	if finalReport != nil && !bytes.Equal(compact.Bytes(), finalReport) {
+		t.Errorf("final report-delta frame diverges from the report endpoint:\nframe:    %s\nendpoint: %s",
+			finalReport, compact.Bytes())
 	}
 }
 

@@ -6,9 +6,10 @@ import (
 )
 
 // Event is one line of a job's result stream: a finished cell, a cell
-// failure, a liveness heartbeat, or the terminal marker.
+// failure, a periodic report snapshot, a liveness heartbeat, or the
+// terminal marker.
 type Event struct {
-	Type  string `json:"type"` // "cell", "cell_error", "heartbeat", "done"
+	Type  string `json:"type"` // "cell", "cell_error", "report-delta", "heartbeat", "done"
 	Index int    `json:"index,omitempty"`
 	Label string `json:"label,omitempty"`
 	// Cell payload (Type == "cell").
@@ -26,6 +27,12 @@ type Event struct {
 	Total int `json:"total,omitempty"`
 	// State is the job's terminal state (Type == "done").
 	State string `json:"state,omitempty"`
+	// Report is a RunReport snapshot (Type == "report-delta"): periodic
+	// frames carry a point-in-time view of the running job; the frame
+	// with Final set carries the end-of-job report, byte-identical
+	// (modulo JSON indentation) to GET /v1/jobs/{id}/report.
+	Report json.RawMessage `json:"report,omitempty"`
+	Final  bool            `json:"final,omitempty"`
 }
 
 // tail is a job's append-only event log with broadcast: appenders add

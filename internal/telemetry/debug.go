@@ -2,17 +2,14 @@ package telemetry
 
 import (
 	"expvar"
-	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"sync"
 )
 
 // Live introspection: Publish exposes a collector's counters as an
-// expvar variable (visible at /debug/vars), and ServeDebug serves the
-// standard debug mux — expvar plus net/http/pprof — so a multi-hour
-// sweep can be profiled and watched mid-flight without stopping it.
+// expvar variable (visible at /debug/vars). The debug HTTP surface
+// itself — /debug/vars, /debug/pprof/*, /metrics — is obs.ServeDebug;
+// every CLI mounts the same mux so a multi-hour sweep can be profiled
+// and watched mid-flight without stopping it.
 
 var (
 	publishMu sync.Mutex
@@ -69,18 +66,4 @@ func PublishVar(name string, f func() any) {
 		}))
 	}
 	publishedVars[name] = f
-}
-
-// ServeDebug starts an HTTP server on addr (e.g. ":6060", or ":0" for an
-// ephemeral port) serving http.DefaultServeMux — which carries
-// /debug/vars (expvar) and /debug/pprof/* (imported above) — in a
-// background goroutine for the life of the process. It returns the bound
-// address so callers can print a usable URL.
-func ServeDebug(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("telemetry: debug server: %w", err)
-	}
-	go http.Serve(ln, nil) //nolint:errcheck // dies with the process
-	return ln.Addr().String(), nil
 }

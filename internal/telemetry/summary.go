@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // SummarizeTrace replays a structured event log into a human-readable
@@ -65,6 +66,14 @@ func SummarizeTrace(events []Event, topN int) string {
 	if ckptResumes > 0 || ckptWrites > 0 {
 		fmt.Fprintf(&b, "checkpoint: %d resumed (saved %.1fs), %d written\n",
 			ckptResumes, ckptSavedMS/1000, ckptWrites)
+	}
+
+	if path := criticalPathLines(events); len(path) > 0 {
+		b.WriteString("\ncritical path (slowest chain, run -> cell -> attempt):\n")
+		for _, line := range path {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
 	}
 
 	if topN > 0 && len(finishes) > 0 {
@@ -127,6 +136,31 @@ func eventDetail(ev Event) string {
 		parts = append(parts, ev.Note)
 	}
 	return strings.Join(parts, "  ")
+}
+
+// criticalPathLines reconstructs the span tree (SpansOf) and renders
+// the run's critical path — the chain of spans that bounded wall time.
+// Traces without span IDs (pre-span logs) yield no lines, keeping
+// summaries of old traces working unchanged.
+func criticalPathLines(events []Event) []string {
+	spans, err := SpansOf(events)
+	if err != nil || len(spans) < 2 {
+		return nil
+	}
+	root, err := obs.BuildTree(spans)
+	if err != nil {
+		return nil
+	}
+	var lines []string
+	for depth, n := range obs.CriticalPath(root) {
+		name := n.Name
+		if name == "" {
+			name = n.Kind
+		}
+		lines = append(lines, fmt.Sprintf("%s%-10s %-40s %9.1fms  [%.1f..%.1fms]",
+			strings.Repeat("  ", depth), n.Kind, name, n.DurMS, n.StartMS, n.End()))
+	}
+	return lines
 }
 
 func plural(n int) string {

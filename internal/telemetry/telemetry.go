@@ -46,6 +46,13 @@ type Collector struct {
 	start time.Time
 	total int // expected cells (0 = unknown)
 	trace *TraceWriter
+	inst  *Instruments
+
+	// runSpan is the trace-tree root's span ID (always 1); spanSeq
+	// allocates the rest. cellSpans maps an in-flight engine cell index
+	// to its span so attempts and the finish event share a parent.
+	spanSeq   uint64
+	cellSpans map[int]uint64
 
 	cells    []cellRecord
 	started  int64
@@ -62,11 +69,33 @@ type Collector struct {
 	ckptSaved  time.Duration
 }
 
+// runSpanID is the span ID of the trace tree's root (the job/run span).
+const runSpanID = 1
+
 // NewCollector returns a collector expecting total cells (0 if unknown;
 // the count only feeds progress/ETA arithmetic and the report header).
 // The run clock starts now.
 func NewCollector(total int) *Collector {
-	return &Collector{start: time.Now(), total: total, byOut: map[string]int64{}}
+	return &Collector{
+		start: time.Now(), total: total, byOut: map[string]int64{},
+		spanSeq: runSpanID, cellSpans: map[int]uint64{},
+	}
+}
+
+// nextSpanLocked allocates a fresh span ID. Callers hold c.mu.
+func (c *Collector) nextSpanLocked() uint64 {
+	c.spanSeq++
+	return c.spanSeq
+}
+
+// SetInstruments routes the collector's counters into live obs metrics
+// as well; see NewInstruments. Attach before the run starts. A nil
+// receiver or nil instruments is a no-op, so CLIs that never bind
+// -debug-addr pay nothing.
+func (c *Collector) SetInstruments(inst *Instruments) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inst = inst
 }
 
 // SetTotal updates the expected cell count (a resuming sweep only knows
@@ -97,7 +126,11 @@ func (c *Collector) CellStarted(ev engine.CellStart) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.started++
-	c.emit(Event{T: EventCellStart, Cell: ev.Label, Index: ev.Index, QueueMS: ms(ev.QueueWait)})
+	span := c.nextSpanLocked()
+	c.cellSpans[ev.Index] = span
+	c.inst.cellStarted(ev.QueueWait)
+	c.emit(Event{T: EventCellStart, Span: span, Parent: runSpanID,
+		Cell: ev.Label, Index: ev.Index, QueueMS: ms(ev.QueueWait)})
 }
 
 // CellAttempted implements engine.Collector.
@@ -108,7 +141,9 @@ func (c *Collector) CellAttempted(ev engine.CellAttempt) {
 	if ev.Attempt > 1 {
 		c.retries++
 	}
-	c.emit(Event{T: EventCellAttempt, Cell: ev.Label, Index: ev.Index, Attempt: ev.Attempt,
+	c.inst.cellAttempted(ev.Attempt)
+	c.emit(Event{T: EventCellAttempt, Span: c.nextSpanLocked(), Parent: c.cellSpans[ev.Index],
+		Cell: ev.Label, Index: ev.Index, Attempt: ev.Attempt,
 		WallMS: ms(ev.Wall), Outcome: ev.Outcome, Err: errString(ev.Err)})
 }
 
@@ -116,6 +151,7 @@ func (c *Collector) CellAttempted(ev engine.CellAttempt) {
 func (c *Collector) CellFinished(ev engine.CellFinish) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.inst.cellExtras(ev.Label, ev.Extras)
 	c.record(cellRecord{
 		label: ev.Label, queueWait: ev.QueueWait, wall: ev.Wall,
 		attempts: ev.Attempts, refs: ev.Refs, outcome: ev.Outcome, err: errString(ev.Err),
@@ -130,13 +166,17 @@ func (c *Collector) RecordCell(label string, wall time.Duration, refs uint64, er
 	defer c.mu.Unlock()
 	c.started++
 	c.attempts++
+	c.inst.cellStarted(0)
 	c.record(cellRecord{
 		label: label, wall: wall, attempts: 1, refs: refs,
 		outcome: engine.OutcomeOf(err), err: errString(err),
 	}, -1)
 }
 
-// record books one finished cell. Callers hold c.mu.
+// record books one finished cell. Callers hold c.mu. The finish event
+// reuses the span CellStarted allocated for the index; out-of-engine
+// cells (RecordCell, index -1) get a fresh span whose start SpansOf
+// derives from the wall time.
 func (c *Collector) record(rec cellRecord, index int) {
 	c.cells = append(c.cells, rec)
 	c.finished++
@@ -145,7 +185,15 @@ func (c *Collector) record(rec cellRecord, index int) {
 	if rec.outcome != engine.OutcomeOK {
 		c.failed++
 	}
-	c.emit(Event{T: EventCellFinish, Cell: rec.label, Index: index, Attempt: rec.attempts,
+	c.inst.cellFinished(rec.wall, rec.refs, rec.label, rec.outcome)
+	span, ok := c.cellSpans[index]
+	if ok {
+		delete(c.cellSpans, index)
+	} else {
+		span = c.nextSpanLocked()
+	}
+	c.emit(Event{T: EventCellFinish, Span: span, Parent: runSpanID,
+		Cell: rec.label, Index: index, Attempt: rec.attempts,
 		QueueMS: ms(rec.queueWait), WallMS: ms(rec.wall), Refs: rec.refs,
 		Outcome: rec.outcome, Err: rec.err})
 }
@@ -158,7 +206,9 @@ func (c *Collector) CheckpointHit(label string, saved time.Duration) {
 	defer c.mu.Unlock()
 	c.ckptHits++
 	c.ckptSaved += saved
-	c.emit(Event{T: EventCheckpointResume, Cell: label, SavedMS: ms(saved)})
+	c.inst.checkpointHit()
+	c.emit(Event{T: EventCheckpointResume, Span: c.nextSpanLocked(), Parent: runSpanID,
+		Cell: label, SavedMS: ms(saved)})
 }
 
 // CheckpointMiss books a cell that had to run despite a journal being
@@ -169,12 +219,15 @@ func (c *Collector) CheckpointMiss() {
 	c.ckptMisses++
 }
 
-// CheckpointWrite books one record appended to the checkpoint journal.
-func (c *Collector) CheckpointWrite(label string) {
+// CheckpointWrite books one record appended to the checkpoint journal;
+// took is the append's save latency (0 if the caller did not time it).
+func (c *Collector) CheckpointWrite(label string, took time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ckptWrites++
-	c.emit(Event{T: EventCheckpointWrite, Cell: label})
+	c.inst.checkpointWrite(took)
+	c.emit(Event{T: EventCheckpointWrite, Span: c.nextSpanLocked(), Parent: runSpanID,
+		Cell: label, WallMS: ms(took)})
 }
 
 // Annotate emits a custom trace event (no-op without an attached trace):
@@ -185,22 +238,26 @@ func (c *Collector) Annotate(event, note string) {
 	c.emit(Event{T: event, Note: note})
 }
 
-// Start emits the run_start trace event; note typically echoes the
-// command line.
+// Start emits the run_start trace event opening the run span; note
+// typically echoes the command line.
 func (c *Collector) Start(note string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.emit(Event{T: EventRunStart, Note: note})
+	c.emit(Event{T: EventRunStart, Span: runSpanID, Note: note})
 }
 
-// Finish emits the run_summary trace event carrying the final counters.
-// Call once, when the run is over.
+// Finish emits the run_summary trace event carrying the final counters
+// and closing the run span, then flushes the trace buffer. Call once,
+// when the run is over.
 func (c *Collector) Finish() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	snap := c.snapshotLocked()
-	c.emit(Event{T: EventRunSummary, WallMS: snap.ElapsedMS, Refs: snap.Refs,
+	c.emit(Event{T: EventRunSummary, Span: runSpanID, WallMS: snap.ElapsedMS, Refs: snap.Refs,
 		Note: summaryNote(snap)})
+	if c.trace != nil {
+		_ = c.trace.Flush()
+	}
 }
 
 // Snapshot is the collector's live counter set — the payload behind

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 func TestQuantilesOf(t *testing.T) {
@@ -65,7 +66,7 @@ func feed(c *Collector, nOK int) {
 	// Checkpoint traffic.
 	c.CheckpointHit("cached-cell", 50*time.Millisecond)
 	c.CheckpointMiss()
-	c.CheckpointWrite("cell-0")
+	c.CheckpointWrite("cell-0", time.Millisecond)
 }
 
 func TestCollectorReport(t *testing.T) {
@@ -210,9 +211,9 @@ func TestPublishAndServeDebug(t *testing.T) {
 	c2 := NewCollector(99)
 	c2.Publish("telemetry.test")
 
-	addr, err := ServeDebug("127.0.0.1:0")
+	addr, err := obs.ServeDebug("127.0.0.1:0", obs.NewRegistry())
 	if err != nil {
-		t.Fatalf("ServeDebug: %v", err)
+		t.Fatalf("obs.ServeDebug: %v", err)
 	}
 	get := func(path string) string {
 		t.Helper()

@@ -27,10 +27,14 @@ const (
 // Event is one record of the structured trace. Timestamps are monotonic
 // milliseconds since the trace was opened (AtMS), so a replayed log
 // reconstructs the run's relative timeline regardless of wall-clock
-// adjustments mid-run.
+// adjustments mid-run. Span/Parent carry the trace-tree identity of the
+// event (see SpansOf): the run span is 1, and every cell, attempt, and
+// checkpoint span links to its parent by ID.
 type Event struct {
 	T       string  `json:"t"`
 	AtMS    float64 `json:"at_ms"`
+	Span    uint64  `json:"span,omitempty"`
+	Parent  uint64  `json:"parent,omitempty"`
 	Cell    string  `json:"cell,omitempty"`
 	Index   int     `json:"index,omitempty"`
 	Attempt int     `json:"attempt,omitempty"`
@@ -43,22 +47,31 @@ type Event struct {
 	Note    string  `json:"note,omitempty"`
 }
 
+// traceBufSize is the event writer's batch buffer. Events are a few
+// hundred bytes, so this batches ~1000 events per syscall — on a large
+// sweep the per-event write() calls, not the JSON encoding, used to
+// dominate -trace-events overhead.
+const traceBufSize = 1 << 18
+
 // TraceWriter appends events as JSONL with monotonic timestamps. It is
-// goroutine-safe. Writes are buffered when the writer owns its file
-// (OpenTrace); call Close to flush.
+// goroutine-safe. Writes are batched through a bounded buffer; call
+// Flush at drain points (or Close, which flushes) — the emitted bytes
+// are identical to unbuffered writes, only the write granularity
+// changes.
 type TraceWriter struct {
 	mu    sync.Mutex
 	start time.Time
-	w     io.Writer
-	buf   *bufio.Writer // non-nil when we own the sink
-	f     *os.File      // non-nil when we own the sink
-	err   error         // first write error; later writes are dropped
+	buf   *bufio.Writer
+	f     *os.File // non-nil when we own the sink
+	err   error    // first write error; later writes are dropped
 }
 
 // NewTraceWriter wraps an existing sink. The caller keeps ownership of w
-// (Close only flushes writers created by OpenTrace).
+// (Close flushes but only closes files opened by OpenTrace) and must not
+// write to w directly while the TraceWriter is live — events are batched
+// in the writer's buffer until Flush or Close.
 func NewTraceWriter(w io.Writer) *TraceWriter {
-	return &TraceWriter{start: time.Now(), w: w}
+	return &TraceWriter{start: time.Now(), buf: bufio.NewWriterSize(w, traceBufSize)}
 }
 
 // OpenTrace creates (truncating) the trace file at path with a buffered
@@ -68,8 +81,7 @@ func OpenTrace(path string) (*TraceWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
-	buf := bufio.NewWriter(f)
-	return &TraceWriter{start: time.Now(), w: buf, buf: buf, f: f}, nil
+	return &TraceWriter{start: time.Now(), buf: bufio.NewWriterSize(f, traceBufSize), f: f}, nil
 }
 
 // Emit stamps and appends one event. Write errors are sticky and
@@ -86,7 +98,23 @@ func (t *TraceWriter) Emit(ev Event) {
 		t.err = err
 		return
 	}
-	if _, err := t.w.Write(append(line, '\n')); err != nil {
+	if _, err := t.buf.Write(append(line, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// Flush drains the batch buffer to the underlying sink. Call it at
+// drain points (end of an experiment, before handing the sink to
+// another writer); Close also flushes.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushLocked()
+	return t.err
+}
+
+func (t *TraceWriter) flushLocked() {
+	if err := t.buf.Flush(); err != nil && t.err == nil {
 		t.err = err
 	}
 }
@@ -96,11 +124,7 @@ func (t *TraceWriter) Emit(ev Event) {
 func (t *TraceWriter) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.buf != nil {
-		if err := t.buf.Flush(); err != nil && t.err == nil {
-			t.err = err
-		}
-	}
+	t.flushLocked()
 	if t.f != nil {
 		if err := t.f.Close(); err != nil && t.err == nil {
 			t.err = err

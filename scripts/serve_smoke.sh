@@ -11,6 +11,9 @@
 #   5. assert the served CSV is byte-identical to a direct dynex-sweep
 #      run of the same grid
 #
+# Along the way it scrapes GET /metrics (DESIGN.md §13) and asserts the
+# admission, completion, and queue-depth series exist and count up.
+#
 # Stdlib-only dependencies: curl + the go toolchain.
 set -eu
 
@@ -29,6 +32,17 @@ trap cleanup EXIT INT TERM
 
 say() { echo "serve-smoke: $*"; }
 die() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+scrape() { curl -sf "$BASE/metrics" >"$1" || die "GET /metrics failed"; }
+
+# metric NAME FILE — sum every sample of NAME in a Prometheus scrape
+# (labelled series collapse, so per-tenant counters sum across tenants).
+metric() {
+    awk -v name="$1" 'index($0, name " ") == 1 || index($0, name "{") == 1 { s += $NF } END { printf "%.0f\n", s + 0 }' "$2"
+}
+
+# has_family NAME FILE — the family is declared even with zero series.
+has_family() { grep -q "^# TYPE $1 " "$2"; }
 
 say "building (race-enabled)"
 go build -race -o "$WORK/dynex-serve" ./cmd/dynex-serve
@@ -50,6 +64,13 @@ say "starting server"
 start_server
 curl -sf "$BASE/readyz" >/dev/null || die "readyz not ready on idle server"
 
+say "scraping /metrics on the idle server"
+scrape "$WORK/m0.prom"
+for m in dynex_serve_jobs_admitted_total dynex_serve_cells_completed_total dynex_serve_queue_depth; do
+    has_family "$m" "$WORK/m0.prom" || die "metric family $m missing from /metrics"
+done
+ADMITTED0="$(metric dynex_serve_jobs_admitted_total "$WORK/m0.prom")"
+
 # A grid that takes a few seconds single-worker: 8 cells x 2M refs.
 SPEC='{"benches":["gcc"],"kind":"instr","refs":2000000,"sizes":[4096,8192,16384,32768],"lines":[4],"policies":["dm","de"]}'
 say "submitting job"
@@ -61,20 +82,34 @@ esac
 
 # Give it a moment to start simulating, then interrupt mid-run.
 sleep 1
+
+say "scraping /metrics mid-run"
+scrape "$WORK/m1.prom"
+ADMITTED1="$(metric dynex_serve_jobs_admitted_total "$WORK/m1.prom")"
+[ "$ADMITTED1" -gt "$ADMITTED0" ] ||
+    die "jobs_admitted did not increase across submit ($ADMITTED0 -> $ADMITTED1)"
+grep -q "^dynex_serve_queue_depth " "$WORK/m1.prom" ||
+    die "queue_depth gauge has no sample mid-run"
 say "SIGTERM mid-run"
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" 2>/dev/null || true
 SRV_PID=""
 
 STATE="$(cat "$DATA/jobs/$JOB/manifest.json")"
+RESUMED=0
 case "$STATE" in
-*'"state":"running"'* | *'"state":"queued"'*) say "job checkpointed mid-run" ;;
+*'"state":"running"'* | *'"state":"queued"'*)
+    say "job checkpointed mid-run"
+    RESUMED=1
+    ;;
 *'"state":"done"'*) say "WARNING: job finished before the SIGTERM landed; resume path not exercised" ;;
 *) die "unexpected manifest after drain: $STATE" ;;
 esac
 
 say "restarting over the same data directory"
 start_server
+scrape "$WORK/m2.prom"
+CELLS0="$(metric dynex_serve_cells_completed_total "$WORK/m2.prom")"
 
 say "waiting for the job to finish"
 for _ in $(seq 1 600); do
@@ -89,6 +124,14 @@ case "$STATUS" in
 *'"state":"done"'*) ;;
 *) die "job did not finish in time: $STATUS" ;;
 esac
+
+if [ "$RESUMED" = "1" ]; then
+    say "scraping /metrics after the resumed run"
+    scrape "$WORK/m3.prom"
+    CELLS1="$(metric dynex_serve_cells_completed_total "$WORK/m3.prom")"
+    [ "$CELLS1" -gt "$CELLS0" ] ||
+        die "cells_completed did not increase across the resumed run ($CELLS0 -> $CELLS1)"
+fi
 
 say "comparing served CSV against a direct dynex-sweep run"
 curl -s "$BASE/v1/jobs/$JOB/csv" >"$WORK/served.csv"
