@@ -12,12 +12,14 @@ build:
 vet:
 	go vet ./...
 
-# dynexcheck is the repo's own static-analysis pass (see DESIGN.md §9):
+# dynexcheck is the repo's own static-analysis pass (DESIGN.md §9, §14):
 # determinism of the simulation core, exhaustive FSM switches, passive
-# telemetry hooks, context-aware sleeps, %w error wrapping, and the
-# batch-kernel stats rule (no per-reference cache.Stats writes inside
-# BatchAccess loops — DESIGN.md §11). The gofmt -s -l step fails on any
-# file that needs (re)formatting.
+# telemetry hooks, context-aware sleeps, %w error wrapping, the
+# batch-kernel stats rule (DESIGN.md §11), and the flow-sensitive
+# checks — lock discipline, goroutine lifetime, atomic/direct access
+# mixing, and //dynexcheck:hot allocation-freedom. The gofmt -s -l
+# step fails on any file that needs (re)formatting. CI times this
+# target against a 120s budget.
 lint:
 	go run ./cmd/dynexcheck
 	@unformatted=$$(gofmt -s -l .); \

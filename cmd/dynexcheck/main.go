@@ -1,16 +1,22 @@
 // Command dynexcheck runs the repo's custom static-analysis pass
 // (internal/analysis) over the whole module: determinism of the
 // simulation core, exhaustive FSM switches, passive telemetry hooks,
-// context-aware sleeps, and %w error wrapping. See DESIGN.md §9.
+// context-aware sleeps, %w error wrapping, and the flow-sensitive
+// concurrency and hot-path checks (lock-discipline, goroutine-ctx,
+// atomic-mix, hotpath-alloc). See DESIGN.md §9 and §14.
 //
 // Usage:
 //
-//	dynexcheck [-C dir] [-checks a,b,...] [-list]
+//	dynexcheck [-C dir] [-checks a,b,...] [-json] [-list]
+//
+// With -json each finding is one JSON object per line (JSON Lines),
+// fields in the stable order file, line, col, check, message.
 //
 // Exit status: 0 clean, 1 findings, 2 load or usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
 	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON Lines (one object per line, stable field order)")
 	list := fs.Bool("list", false, "list available checks and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,8 +77,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	diags := analysis.Check(mod, selected)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range diags {
+			if err := enc.Encode(d); err != nil {
+				fmt.Fprintf(stderr, "dynexcheck: encoding finding: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "dynexcheck: %d finding(s) in %s (module %s)\n", len(diags), mod.Dir, mod.Path)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -33,12 +34,16 @@ func TestRealModuleClean(t *testing.T) {
 // exit non-zero, with the findings on stdout and a summary on stderr.
 func TestFixtureFindings(t *testing.T) {
 	cases := map[string]string{
-		"determ":     "[determinism]",
-		"fsm":        "[fsm-exhaustive]",
-		"purity":     "[collector-purity]",
-		"ctxsleep":   "[ctx-sleep]",
-		"errfmt":     "[errfmt]",
-		"batchstats": "[batch-stats]",
+		"determ":       "[determinism]",
+		"fsm":          "[fsm-exhaustive]",
+		"purity":       "[collector-purity]",
+		"ctxsleep":     "[ctx-sleep]",
+		"errfmt":       "[errfmt]",
+		"batchstats":   "[batch-stats]",
+		"lockdisc":     "[lock-discipline]",
+		"goroutinectx": "[goroutine-ctx]",
+		"atomicmix":    "[atomic-mix]",
+		"hotalloc":     "[hotpath-alloc]",
 	}
 	for name, marker := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -90,10 +95,47 @@ func TestList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "fsm-exhaustive", "collector-purity", "ctx-sleep", "errfmt", "registry", "batch-stats"} {
+	for _, name := range []string{"determinism", "fsm-exhaustive", "collector-purity", "ctx-sleep", "errfmt", "registry", "batch-stats", "obs-metrics", "lock-discipline", "goroutine-ctx", "atomic-mix", "hotpath-alloc"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output lacks %q:\n%s", name, stdout)
 		}
+	}
+}
+
+// TestJSONOutput pins the -json wire format: one object per line, keys
+// in the stable order file, line, col, check, message, and content
+// matching the text run.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-C", fixture("fsm"), "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d JSON lines, want 1:\n%s", len(lines), stdout)
+	}
+	var d struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, lines[0])
+	}
+	if d.File != "a/a.go" || d.Line != 21 || d.Check != "fsm-exhaustive" || d.Col == 0 || d.Message == "" {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	// Key order is part of the contract (diffable artifacts).
+	wantOrder := []string{`"file"`, `"line"`, `"col"`, `"check"`, `"message"`}
+	last := -1
+	for _, key := range wantOrder {
+		i := strings.Index(lines[0], key)
+		if i <= last {
+			t.Errorf("key %s out of order in %s", key, lines[0])
+		}
+		last = i
 	}
 }
 

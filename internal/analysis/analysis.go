@@ -19,21 +19,26 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. The json tags (consumed by dynexcheck
+// -json) marshal in declaration order, which is the stable wire order:
+// file, line, col, check, message.
 type Diagnostic struct {
 	// File is the path relative to the module root.
-	File string
+	File string `json:"file"`
 	// Line and Col are 1-based.
-	Line int
-	Col  int
+	Line int `json:"line"`
+	Col  int `json:"col"`
 	// Check names the analyzer (or "directive" for directive errors).
-	Check string
+	Check string `json:"check"`
 	// Message describes the finding.
-	Message string
+	Message string `json:"message"`
 }
 
 // String renders the canonical "file:line: [check] message" form.
@@ -97,6 +102,10 @@ func Analyzers() []*Analyzer {
 		RegistryAnalyzer,
 		BatchStatsAnalyzer,
 		ObsMetricsAnalyzer,
+		LockAnalyzer,
+		GoroutineAnalyzer,
+		AtomicMixAnalyzer,
+		HotPathAnalyzer,
 	}
 }
 
@@ -111,17 +120,59 @@ type allowKey struct {
 	check string
 }
 
+// directiveSite is where an allow directive itself sits, for stale-allow
+// diagnostics.
+type directiveSite struct {
+	line int
+	col  int
+}
+
 // Check runs the analyzers over every package of mod and returns the
 // surviving findings sorted by position. Allow directives are applied
 // here: a valid directive on line N suppresses the named check's
-// findings on line N+1 of the same file.
+// findings on line N+1 of the same file, and a directive that suppresses
+// nothing is itself reported (check "directive") so allows cannot
+// outlive the finding they audited.
+//
+// Units of (package, analyzer) run concurrently on a bounded worker
+// pool — the analyzers are pure functions of the (immutable) loaded
+// module — and results are merged in unit order, so output is
+// deterministic regardless of scheduling.
 func Check(mod *Module, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	type unit struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	units := make([]unit, 0, len(mod.Pkgs)*len(analyzers))
 	for _, pkg := range mod.Pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Module: mod, Pkg: pkg, check: a.Name, out: &diags}
-			a.Run(pass)
+			units = append(units, unit{pkg, a})
 		}
+	}
+	results := make([][]Diagnostic, len(units))
+	workers := min(runtime.GOMAXPROCS(0), len(units))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				u := units[i]
+				var out []Diagnostic
+				u.a.Run(&Pass{Module: mod, Pkg: u.pkg, check: u.a.Name, out: &out})
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, out := range results {
+		diags = append(diags, out...)
 	}
 
 	// Directives are validated against the full registry, not the
@@ -131,17 +182,39 @@ func Check(mod *Module, analyzers []*Analyzer) []Diagnostic {
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
-	allowed := map[allowKey]bool{}
+	allowed := map[allowKey]directiveSite{}
 	for _, pkg := range mod.Pkgs {
 		for _, file := range pkg.Files {
 			scanDirectives(mod, file, known, allowed, &diags)
 		}
 	}
 
+	used := map[allowKey]bool{}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !allowed[allowKey{d.File, d.Line, d.Check}] {
-			kept = append(kept, d)
+		k := allowKey{d.File, d.Line, d.Check}
+		if _, ok := allowed[k]; ok {
+			used[k] = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+
+	// Stale-allow detection, restricted to the checks that actually ran:
+	// a directive for an unselected analyzer may well suppress a real
+	// finding we just didn't compute.
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	for k, site := range allowed {
+		if selected[k.check] && !used[k] {
+			kept = append(kept, Diagnostic{
+				File: k.file, Line: site.line, Col: site.col,
+				Check: DirectiveCheck,
+				Message: fmt.Sprintf("allow directive for %q suppresses no finding on line %d: stale, remove it",
+					k.check, k.line),
+			})
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
@@ -169,7 +242,7 @@ const directivePrefix = "//dynexcheck:allow"
 
 // scanDirectives records every valid allow directive in file into
 // allowed and reports malformed or unknown ones into diags.
-func scanDirectives(mod *Module, file *ast.File, known map[string]bool, allowed map[allowKey]bool, diags *[]Diagnostic) {
+func scanDirectives(mod *Module, file *ast.File, known map[string]bool, allowed map[allowKey]directiveSite, diags *[]Diagnostic) {
 	for _, group := range file.Comments {
 		for _, c := range group.List {
 			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
@@ -205,7 +278,7 @@ func scanDirectives(mod *Module, file *ast.File, known map[string]bool, allowed 
 				report("directive allows unknown check %q (known: %s)", name, strings.Join(names, ", "))
 				continue
 			}
-			allowed[allowKey{rel, pos.Line + 1, name}] = true
+			allowed[allowKey{rel, pos.Line + 1, name}] = directiveSite{line: pos.Line, col: pos.Column}
 		}
 	}
 }

@@ -98,16 +98,40 @@ func TestErrFmtFixture(t *testing.T) {
 
 // TestAllowDirective pins the directive semantics: a valid directive
 // suppresses exactly one named check on exactly the next line; wrong
-// line or wrong check name leaves the finding; unknown, missing, and
-// run-together check names are diagnostics of their own.
+// line or wrong check name leaves the finding AND reports the directive
+// itself as stale; unknown, missing, and run-together check names are
+// diagnostics of their own.
 func TestAllowDirective(t *testing.T) {
 	wantDiags(t, checkFixture(t, "allow"), []string{
+		`p/p.go:19: [directive] allow directive for "errfmt" suppresses no finding on line 20: stale, remove it`,
 		`p/p.go:21: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
+		`p/p.go:26: [directive] allow directive for "determinism" suppresses no finding on line 27: stale, remove it`,
 		`p/p.go:27: [errfmt] fmt.Errorf formats the final error with %v: use %w so callers keep errors.Is/errors.As`,
-		`p/p.go:32: [directive] directive allows unknown check "nosuchcheck" (known: batch-stats, collector-purity, ctx-sleep, determinism, errfmt, fsm-exhaustive, obs-metrics, registry)`,
+		`p/p.go:32: [directive] directive allows unknown check "nosuchcheck" (known: atomic-mix, batch-stats, collector-purity, ctx-sleep, determinism, errfmt, fsm-exhaustive, goroutine-ctx, hotpath-alloc, lock-discipline, obs-metrics, registry)`,
 		`p/p.go:38: [directive] directive "//dynexcheck:allow" is missing a check name`,
 		`p/p.go:43: [directive] malformed directive "//dynexcheck:allowtypo x": want "//dynexcheck:allow <check> <justification>"`,
 	})
+}
+
+// TestStaleAllowScopedToSelection pins that stale-allow detection only
+// considers directives naming a check that actually ran: narrowing
+// -checks must not fabricate stale findings for the others.
+func TestStaleAllowScopedToSelection(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src", "allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fsmOnly []*Analyzer
+	for _, a := range Analyzers() {
+		if a.Name == "fsm-exhaustive" {
+			fsmOnly = append(fsmOnly, a)
+		}
+	}
+	for _, d := range Check(mod, fsmOnly) {
+		if d.Check == DirectiveCheck && strings.Contains(d.Message, "stale") {
+			t.Errorf("fsm-only run reported stale directive: %s", d)
+		}
+	}
 }
 
 // TestRegistryFixture pins the registry analyzer: direct simulator
@@ -137,6 +161,127 @@ func TestBatchStatsFixture(t *testing.T) {
 		`internal/core/kernel.go:22: [batch-stats] write through cache.Stats inside a BatchAccess loop: accumulate in locals and flush once per batch`,
 		`internal/core/kernel.go:23: [batch-stats] Stats.Record inside a BatchAccess loop: accumulate in locals and flush once per batch`,
 	})
+}
+
+// TestLockDisciplineFixture pins lock-discipline: early-return and
+// panic-path leaks report at the Lock with the escaping line; sleeps,
+// channel ops, select-without-default, and network IO under a held lock
+// report at the blocking point. Defer, per-path unlocks, per-iteration
+// lock/unlock, select-with-default, sync.Cond.Wait, and post-unlock
+// blocking all pass, and the allow directive suppresses its audited op.
+func TestLockDisciplineFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "lockdisc"), []string{
+		`p/p.go:19: [lock-discipline] s.mu is locked in LeakOnEarlyReturn but not released on the path exiting at line 21: unlock on every path or defer the unlock`,
+		`p/p.go:29: [lock-discipline] s.rw is locked in RLockLeak but not released on the path exiting at line 31: unlock on every path or defer the unlock`,
+		`p/p.go:39: [lock-discipline] s.mu is locked in PanicLeak but not released on the path exiting at line 41: unlock on every path or defer the unlock`,
+		`p/p.go:49: [lock-discipline] time.Sleep while holding s.mu (locked at line 48): the lock is pinned for as long as this blocks`,
+		`p/p.go:57: [lock-discipline] channel send while holding s.mu (locked at line 55): the lock is pinned for as long as this blocks`,
+		`p/p.go:64: [lock-discipline] channel receive while holding s.mu (locked at line 62): the lock is pinned for as long as this blocks`,
+		`p/p.go:72: [lock-discipline] select without default while holding s.mu (locked at line 70): the lock is pinned for as long as this blocks`,
+		`p/p.go:83: [lock-discipline] http.Client.Get while holding s.mu (locked at line 81): the lock is pinned for as long as this blocks`,
+	})
+}
+
+// TestGoroutineCtxFixture pins goroutine-ctx: an unobservable goroutine
+// and an opaque function value are findings inside the scoped packages;
+// ctx.Done, WaitGroup.Done, close(done), CancelFunc, and one-level
+// same-package follow all pass; out-of-scope packages are ignored; the
+// allow directive suppresses its audited goroutine.
+func TestGoroutineCtxFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "goroutinectx"), []string{
+		`internal/engine/e.go:14: [goroutine-ctx] goroutine observes neither ctx.Done() nor a sync.WaitGroup nor any channel on any path: nothing bounds its lifetime`,
+		`internal/engine/e.go:23: [goroutine-ctx] go statement calls a function with no body in this package: cannot verify the goroutine observes ctx.Done, a WaitGroup, or a close-signal channel`,
+	})
+}
+
+// TestAtomicMixFixture pins atomic-mix: direct reads and writes of a
+// field the module accesses atomically — including via a different
+// package — are findings; typed atomic wrappers, never-atomic fields,
+// and the allow directive pass.
+func TestAtomicMixFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "atomicmix"), []string{
+		`p/p.go:27: [atomic-mix] field n is accessed with sync/atomic (p/p.go:17) but read or written directly here: every access must use sync/atomic`,
+		`p/p.go:32: [atomic-mix] field n is accessed with sync/atomic (p/p.go:17) but read or written directly here: every access must use sync/atomic`,
+		`p/p.go:39: [atomic-mix] field N is accessed with sync/atomic (q/q.go:13) but read or written directly here: every access must use sync/atomic`,
+	})
+}
+
+// TestHotPathAllocFixture pins hotpath-alloc: make, slice/map literals,
+// &composite, non-reuse append, interface boxing, string<->[]byte
+// conversions, and capturing closures are findings inside a
+// //dynexcheck:hot function; value struct literals, reuse appends,
+// pointer arguments, unannotated functions, and the allow directive
+// pass.
+func TestHotPathAllocFixture(t *testing.T) {
+	wantDiags(t, checkFixture(t, "hotalloc"), []string{
+		`p/p.go:24: [hotpath-alloc] make in Hot, which is marked //dynexcheck:hot: hot paths must be allocation-free`,
+		`p/p.go:25: [hotpath-alloc] slice literal (allocates backing array) in Hot, which is marked //dynexcheck:hot: hot paths must be allocation-free`,
+		`p/p.go:26: [hotpath-alloc] map literal (allocates) in Hot, which is marked //dynexcheck:hot: hot paths must be allocation-free`,
+		`p/p.go:27: [hotpath-alloc] address of composite literal (escapes to the heap) in Hot, which is marked //dynexcheck:hot: hot paths must be allocation-free`,
+		`p/p.go:28: [hotpath-alloc] append whose result is not reassigned to its first argument in Hot, which is marked //dynexcheck:hot: hot paths must be allocation-free`,
+		`p/p.go:29: [hotpath-alloc] passing hotalloc/p.Stats by value to an interface parameter (boxes) in Hot, which is marked //dynexcheck:hot: hot paths must be allocation-free`,
+		`p/p.go:30: [hotpath-alloc] string -> []byte conversion (copies) in Hot, which is marked //dynexcheck:hot: hot paths must be allocation-free`,
+		`p/p.go:31: [hotpath-alloc] []byte -> string conversion (copies) in Hot, which is marked //dynexcheck:hot: hot paths must be allocation-free`,
+		`p/p.go:32: [hotpath-alloc] closure capturing k (closure and capture move to the heap) in Hot, which is marked //dynexcheck:hot: hot paths must be allocation-free`,
+	})
+}
+
+// TestRealRepoCorpusClean is the zero-finding corpus run: every
+// analyzer over the repo's own module, pinned at exactly zero surviving
+// findings (audited allows included, none stale).
+func TestRealRepoCorpusClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck is slow; run without -short")
+	}
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(mod, Analyzers())
+	for _, d := range diags {
+		t.Errorf("repo finding: %s", d)
+	}
+}
+
+// TestCheckParallelDeterministic pins that the concurrent Check produces
+// identical output run to run: the per-unit result merge is in unit
+// order, not completion order.
+func TestCheckParallelDeterministic(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src", "determ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Check(mod, Analyzers())
+	for i := 0; i < 10; i++ {
+		again := Check(mod, Analyzers())
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d diags, first run had %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("run %d diag[%d] = %+v, first run had %+v", i, j, again[j], first[j])
+			}
+		}
+	}
+}
+
+// TestLoadModuleConcurrent loads two fixture modules from concurrent
+// goroutines; under -race this pins that the pre-lock go.mod read and
+// the shared importer state compose safely.
+func TestLoadModuleConcurrent(t *testing.T) {
+	names := []string{"fsm", "errfmt", "allow", "ctxsleep"}
+	errs := make(chan error, len(names))
+	for _, name := range names {
+		go func(name string) {
+			_, err := LoadModule(filepath.Join("testdata", "src", name))
+			errs <- err
+		}(name)
+	}
+	for range names {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
 }
 
 // TestBrokenModule checks the loader degrades gracefully on

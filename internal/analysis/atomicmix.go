@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// AtomicMixAnalyzer is the atomic-mix check: once any access to a struct
+// field goes through the sync/atomic function API (atomic.AddUint64(&s.n, 1)
+// and friends), every access module-wide must — a plain read or write of
+// the same field races with the atomic ones and the race detector only
+// catches the schedules it happens to see. Fields of the typed
+// atomic.Int64/Uint64/... wrappers need no check: their only access path
+// is already atomic.
+//
+// The module-wide fact base (which fields are atomically accessed
+// anywhere) is computed once per loaded module and shared across
+// packages; fields are identified by declaration position, which is
+// stable across the base and test type-checking views of a file.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomic-mix",
+	Doc:  "a struct field accessed through sync/atomic is never read or written non-atomically elsewhere",
+	Run:  runAtomicMix,
+}
+
+// fieldKey identifies a struct field across type-checking views: the
+// same source declaration yields distinct types.Var objects in the base
+// and test views, but the same declaration position.
+type fieldKey struct {
+	pos  token.Pos
+	name string
+}
+
+type atomicFacts struct {
+	once sync.Once
+	// fields maps each atomically-accessed field to the position of its
+	// earliest atomic access (for the diagnostic message).
+	fields map[fieldKey]token.Pos
+}
+
+// atomicFactsCache holds the per-module fact base (*Module -> *atomicFacts);
+// analyses over different modules (fixtures, the real repo) don't mix.
+var atomicFactsCache sync.Map
+
+// atomicFieldsOf returns the module's atomically-accessed fields,
+// computing them on first use.
+func atomicFieldsOf(mod *Module) map[fieldKey]token.Pos {
+	v, _ := atomicFactsCache.LoadOrStore(mod, &atomicFacts{})
+	facts := v.(*atomicFacts)
+	facts.once.Do(func() {
+		facts.fields = map[fieldKey]token.Pos{}
+		for _, pkg := range mod.Pkgs {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fld := atomicCallField(pkg.Info, call)
+					if fld == nil {
+						return true
+					}
+					k := fieldKey{fld.Pos(), fld.Name()}
+					if prev, seen := facts.fields[k]; !seen || call.Pos() < prev {
+						facts.fields[k] = call.Pos()
+					}
+					return true
+				})
+			}
+		}
+	})
+	return facts.fields
+}
+
+// atomicCallField returns the struct field a sync/atomic function call
+// operates on (the field behind the &s.f first argument), or nil.
+func atomicCallField(info *types.Info, call *ast.CallExpr) *types.Var {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // typed atomic.Int64-style methods are safe by construction
+	}
+	switch {
+	case strings.HasPrefix(fn.Name(), "Add"),
+		strings.HasPrefix(fn.Name(), "Load"),
+		strings.HasPrefix(fn.Name(), "Store"),
+		strings.HasPrefix(fn.Name(), "Swap"),
+		strings.HasPrefix(fn.Name(), "CompareAndSwap"),
+		strings.HasPrefix(fn.Name(), "Or"),
+		strings.HasPrefix(fn.Name(), "And"):
+	default:
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return fieldBehindAddr(info, call.Args[0])
+}
+
+// fieldBehindAddr resolves &expr down to a struct field object, or nil.
+func fieldBehindAddr(info *types.Info, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return nil
+	}
+	return obj
+}
+
+func runAtomicMix(pass *Pass) {
+	fields := atomicFieldsOf(pass.Module)
+	if len(fields) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// The &s.f operand inside an atomic call is the sanctioned access;
+		// every other use of the field is a finding.
+		exempt := map[ast.Node]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || atomicCallField(info, call) == nil {
+				return true
+			}
+			if un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok {
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					exempt[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() {
+				return true
+			}
+			atomicPos, mixed := fields[fieldKey{obj.Pos(), obj.Name()}]
+			if !mixed {
+				return true
+			}
+			at := pass.Module.Fset.Position(atomicPos)
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is accessed with sync/atomic (%s:%d) but read or written directly here: every access must use sync/atomic",
+				obj.Name(), pass.Module.RelPath(at.Filename), at.Line)
+			return true
+		})
+	}
+}

@@ -1,0 +1,515 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Intra-procedural control-flow graphs over ast.Stmt. The flow-sensitive
+// analyzers (lock-discipline, and anything the dataflow driver powers)
+// are built on this layer rather than on raw AST walks: a basic block
+// holds the straight-line run of statements and condition expressions,
+// and edges carry every way Go control can move — if/else joins, the
+// three-part for loop, range loops, expression/type switches with
+// fallthrough, select dispatch, goto and labeled break/continue, and
+// exits (return, panic, falling off the end). Defer statements appear as
+// ordinary block nodes; checkers that care about function-exit effects
+// (a deferred mu.Unlock covering every return) model them in their own
+// transfer functions.
+//
+// The builder is syntax-directed and conservative: it never prunes an
+// edge it cannot prove dead, so a dataflow fact that holds on every CFG
+// path holds on every real execution. Unreachable blocks (code after an
+// unconditional return) stay in Blocks with no predecessors; the
+// dataflow driver simply never visits them.
+
+// Block is one basic block: a maximal straight-line sequence of nodes
+// with control entering at the top and leaving at the bottom.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (Entry is 0).
+	Index int
+	// Nodes are the statements and condition expressions executed in
+	// order. Condition expressions of if/for/switch appear as bare
+	// ast.Expr nodes; everything else is an ast.Stmt. A select's comm
+	// clause statement is the first node of its case block.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks, in source order.
+	Succs []*Block
+	// Kind labels the block's role for tests and debugging ("entry",
+	// "exit", "if.then", "for.body", "select.case", ...).
+	Kind string
+	// Term is the statement that ended the block early (return, panic
+	// call, branch), or nil when control falls through to Succs.
+	Term ast.Stmt
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks holds every block; Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry receives control at the call.
+	Entry *Block
+	// Exit is the single synthetic exit: every return, every panic, and
+	// the fall-off-the-end path lead here. It holds no nodes.
+	Exit *Block
+}
+
+// Reachable reports the blocks reachable from Entry, in index order.
+func (g *CFG) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	var out []*Block
+	for _, b := range g.Blocks {
+		if seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Preds computes the predecessor lists for every block (by index).
+func (g *CFG) Preds() [][]*Block {
+	preds := make([][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	return preds
+}
+
+// String renders the graph compactly for tests: one "i(kind) -> succs"
+// line per block.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%d(%s):%d ->", b.Index, b.Kind, len(b.Nodes))
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// BuildCFG constructs the CFG of a function body. info may be nil; when
+// present it is used to recognize calls that never return (panic), so
+// the block after them is not wired as a fall-through successor.
+func BuildCFG(body *ast.BlockStmt, info infoLike) *CFG {
+	b := &cfgBuilder{info: info}
+	b.cfg = &CFG{}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	b.loops = nil
+	b.labels = map[string]*labelBlocks{}
+	b.stmtList(body.List)
+	// Falling off the end of the body is a return.
+	b.jump(b.cfg.Exit)
+	b.patchGotos()
+	return b.cfg
+}
+
+// infoLike is the slice of types.Info the builder needs; an interface so
+// BuildCFG(nil) works in tests without a type-checked package.
+type infoLike interface {
+	// isPanicCall reports whether call is a call to the panic builtin.
+	isPanicCall(call *ast.CallExpr) bool
+}
+
+// loopCtx tracks the break/continue targets of an enclosing loop,
+// switch, or select.
+type loopCtx struct {
+	label    string // enclosing label, or ""
+	brk      *Block // break target (nil for constructs without break)
+	cont     *Block // continue target (nil for switch/select)
+	isSwitch bool   // break applies, continue does not
+}
+
+// labelBlocks tracks a label's goto target; forward gotos are patched
+// once the labeled statement has been built.
+type labelBlocks struct {
+	block   *Block // target block, nil until the label is reached
+	pending []*Block
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	info   infoLike
+	loops  []loopCtx
+	labels map[string]*labelBlocks
+	// curLabel is the label attached to the next loop/switch/select
+	// statement, consumed by its builder.
+	curLabel string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump wires cur -> to and leaves cur dead (callers start a new block).
+func (b *cfgBuilder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+	b.cur = nil
+}
+
+// edge wires from -> to without touching cur.
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// start makes blk the current block, creating an unreachable block when
+// control already ended (code after return).
+func (b *cfgBuilder) start(blk *Block) {
+	b.cur = blk
+}
+
+// add appends a node to the current block, reviving control in a fresh
+// unreachable block after a terminator so later statements still appear
+// in the graph.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// findLoop resolves the loop/switch context a break or continue targets.
+func (b *cfgBuilder) findLoop(label string, isBreak bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if label != "" && lc.label != label {
+			continue
+		}
+		if !isBreak && lc.cont == nil {
+			continue // continue skips switch/select contexts
+		}
+		return lc
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		if condBlk == nil {
+			condBlk = b.newBlock("unreachable")
+			b.cur = condBlk
+		}
+		thenBlk := b.newBlock("if.then")
+		afterBlk := b.newBlock("if.after")
+		b.edge(condBlk, thenBlk)
+		b.cur = nil
+		b.start(thenBlk)
+		b.stmt(s.Body)
+		b.jump(afterBlk)
+		if s.Else != nil {
+			elseBlk := b.newBlock("if.else")
+			b.edge(condBlk, elseBlk)
+			b.start(elseBlk)
+			b.stmt(s.Else)
+			b.jump(afterBlk)
+		} else {
+			b.edge(condBlk, afterBlk)
+		}
+		b.start(afterBlk)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.after")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.jump(head)
+		b.start(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, body)
+			b.edge(head, after)
+		} else {
+			b.edge(head, body)
+		}
+		b.cur = nil
+		b.loops = append(b.loops, loopCtx{label: label, brk: after, cont: post})
+		b.start(body)
+		b.stmt(s.Body)
+		b.jump(post)
+		b.loops = b.loops[:len(b.loops)-1]
+		if s.Post != nil {
+			b.start(post)
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.start(after)
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		b.jump(head)
+		b.start(head)
+		b.add(s) // the range operation itself (assignment + next element)
+		b.edge(head, body)
+		b.edge(head, after)
+		b.cur = nil
+		b.loops = append(b.loops, loopCtx{label: label, brk: after, cont: head})
+		b.start(body)
+		b.stmt(s.Body)
+		b.jump(head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.start(after)
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		// The select statement itself sits in the dispatching block so
+		// checkers can see the blocking point with pre-dispatch state.
+		b.add(s)
+		b.switchBody(label, s.Body, s)
+
+	case *ast.LabeledStmt:
+		lb := b.label(s.Label.Name)
+		target := b.newBlock("label." + s.Label.Name)
+		b.jump(target)
+		b.start(target)
+		lb.block = target
+		for _, p := range lb.pending {
+			b.edge(p, target)
+		}
+		lb.pending = nil
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.curLabel = s.Label.Name
+		}
+		b.stmt(s.Stmt)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if lc := b.findLoop(label, true); lc != nil {
+				b.terminate(s, lc.brk)
+			} else {
+				b.cur = nil // malformed; drop control
+			}
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if lc := b.findLoop(label, false); lc != nil {
+				b.terminate(s, lc.cont)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			lb := b.label(s.Label.Name)
+			if b.cur == nil {
+				b.cur = b.newBlock("unreachable")
+			}
+			b.cur.Term = s
+			if lb.block != nil {
+				b.jump(lb.block)
+			} else {
+				lb.pending = append(lb.pending, b.cur)
+				b.cur = nil
+			}
+		case token.FALLTHROUGH:
+			// Wired by switchBody via the clause ordering; mark the
+			// terminator and let the clause builder connect it.
+			if b.cur != nil {
+				b.cur.Term = s
+			}
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.cur.Term = s
+		}
+		b.jump(b.cfg.Exit)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.info != nil && b.info.isPanicCall(call) {
+			if b.cur != nil {
+				b.cur.Term = s
+			}
+			b.jump(b.cfg.Exit)
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		// Anything new in the language lands here; record it so no
+		// statement silently vanishes from the graph.
+		b.add(s)
+	}
+}
+
+// terminate records s as the block terminator and jumps to target.
+func (b *cfgBuilder) terminate(s ast.Stmt, target *Block) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Term = s
+	b.jump(target)
+}
+
+// takeLabel consumes the label a LabeledStmt attached for the construct
+// being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) label(name string) *labelBlocks {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+// switchBody builds the clause blocks of a switch, type switch, or
+// select. sel is non-nil for selects (its clauses start with their comm
+// statement). The dispatching block (cur) gets an edge to every clause;
+// without a default clause it also flows straight to after (no case
+// matched — for selects this edge is never taken at runtime, which is
+// safe over-approximation).
+func (b *cfgBuilder) switchBody(label string, body *ast.BlockStmt, sel *ast.SelectStmt) {
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock("unreachable")
+		b.cur = dispatch
+	}
+	after := b.newBlock("switch.after")
+	kind := "switch.case"
+	if sel != nil {
+		kind = "select.case"
+	}
+	hasDefault := false
+	type clause struct {
+		blk  *Block
+		list []ast.Stmt
+		comm ast.Stmt
+	}
+	var clauses []clause
+	for _, raw := range body.List {
+		switch c := raw.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				// Case expressions are evaluated in the dispatch block.
+				dispatch.Nodes = append(dispatch.Nodes, e)
+			}
+			clauses = append(clauses, clause{blk: b.newBlock(kind), list: c.Body})
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			clauses = append(clauses, clause{blk: b.newBlock(kind), list: c.Body, comm: c.Comm})
+		}
+	}
+	b.cur = nil
+	for _, c := range clauses {
+		b.edge(dispatch, c.blk)
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.loops = append(b.loops, loopCtx{label: label, brk: after, isSwitch: true})
+	for i, c := range clauses {
+		b.start(c.blk)
+		if c.comm != nil {
+			b.add(c.comm)
+		}
+		b.stmtList(c.list)
+		// A clause ending in fallthrough flows into the next clause's
+		// block; otherwise it exits the switch.
+		if b.cur != nil && b.cur.Term != nil {
+			if br, ok := b.cur.Term.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(clauses) {
+				b.jump(clauses[i+1].blk)
+				continue
+			}
+		}
+		b.jump(after)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.start(after)
+}
+
+// patchGotos wires any goto whose label never appeared (malformed code;
+// the type checker rejects it, but the builder must not crash first) to
+// the exit block.
+func (b *cfgBuilder) patchGotos() {
+	for _, lb := range b.labels {
+		for _, p := range lb.pending {
+			b.edge(p, b.cfg.Exit)
+		}
+	}
+}

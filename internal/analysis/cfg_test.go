@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// namePanic recognizes panic syntactically, so CFG tests run without a
+// type-checked package.
+type namePanic struct{}
+
+func (namePanic) isPanicCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// buildCFG parses body (the statements of a function) and builds its CFG.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(token.NewFileSet(), "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body, namePanic{})
+}
+
+// reachableKinds returns the kinds of the reachable blocks, in index order.
+func reachableKinds(g *CFG) []string {
+	var out []string
+	for _, b := range g.Reachable() {
+		out = append(out, b.Kind)
+	}
+	return out
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// findKind returns the first block of the given kind, failing the test
+// when absent.
+func findKind(t *testing.T, g *CFG, kind string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			return b
+		}
+	}
+	t.Fatalf("no %q block in:\n%s", kind, g)
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(t, "x := 1\n_ = x\nreturn")
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry has %d nodes, want 3:\n%s", len(g.Entry.Nodes), g)
+	}
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Errorf("entry does not reach exit:\n%s", g)
+	}
+	if g.Entry.Term == nil {
+		t.Error("return did not terminate the entry block")
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	g := buildCFG(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+	cond := g.Entry
+	then := findKind(t, g, "if.then")
+	els := findKind(t, g, "if.else")
+	after := findKind(t, g, "if.after")
+	if !hasEdge(cond, then) || !hasEdge(cond, els) {
+		t.Errorf("cond block missing branch edges:\n%s", g)
+	}
+	if hasEdge(cond, after) {
+		t.Errorf("cond block must not fall through past an else:\n%s", g)
+	}
+	if !hasEdge(then, after) || !hasEdge(els, after) {
+		t.Errorf("branches do not join:\n%s", g)
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildCFG(t, "for i := 0; i < 4; i++ {\n _ = i\n}\n_ = 1")
+	head := findKind(t, g, "for.head")
+	body := findKind(t, g, "for.body")
+	post := findKind(t, g, "for.post")
+	after := findKind(t, g, "for.after")
+	if !hasEdge(head, body) || !hasEdge(head, after) {
+		t.Errorf("loop head edges wrong:\n%s", g)
+	}
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Errorf("back edge missing:\n%s", g)
+	}
+}
+
+// TestCFGLabeledBreak pins that `break outer` from the inner loop jumps
+// past BOTH loops, while a plain break only exits the inner one.
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildCFG(t, `
+outer:
+	for {
+		for {
+			if true {
+				break outer
+			}
+			break
+		}
+	}
+	_ = 1`)
+	// The block holding "break outer" must reach the OUTER loop's after
+	// block, whose own successor chain reaches exit without re-entering
+	// either head.
+	var brkOuter *Block
+	for _, b := range g.Blocks {
+		if br, ok := b.Term.(*ast.BranchStmt); ok && br.Label != nil && br.Label.Name == "outer" {
+			brkOuter = b
+		}
+	}
+	if brkOuter == nil {
+		t.Fatalf("no block terminated by `break outer`:\n%s", g)
+	}
+	// Outer for.after is the one that can reach exit; inner after loops back.
+	target := brkOuter.Succs[0]
+	reached := false
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		if b == g.Exit {
+			reached = true
+		}
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(target)
+	if !reached {
+		t.Errorf("break outer target cannot reach exit:\n%s", g)
+	}
+	if seen[findKind(t, g, "for.body")] {
+		t.Errorf("break outer target re-enters a loop body:\n%s", g)
+	}
+}
+
+// TestCFGSelect pins select dispatch: the SelectStmt sits in the
+// dispatching block, each comm statement opens its case block, and
+// without a default the dispatcher keeps a conservative edge to after.
+func TestCFGSelect(t *testing.T) {
+	g := buildCFG(t, `
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		_ = v
+	case ch <- 1:
+	}
+	_ = 2`)
+	dispatch := g.Entry
+	found := false
+	for _, n := range dispatch.Nodes {
+		if _, ok := n.(*ast.SelectStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SelectStmt not in dispatch block:\n%s", g)
+	}
+	after := findKind(t, g, "switch.after")
+	if !hasEdge(dispatch, after) {
+		t.Errorf("no-default select lost its conservative dispatch->after edge:\n%s", g)
+	}
+	cases := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "select.case" {
+			cases++
+			if len(b.Nodes) == 0 {
+				t.Errorf("case block %d has no comm statement:\n%s", b.Index, g)
+			}
+			if !hasEdge(dispatch, b) {
+				t.Errorf("dispatch does not reach case %d:\n%s", b.Index, g)
+			}
+		}
+	}
+	if cases != 2 {
+		t.Errorf("got %d select.case blocks, want 2:\n%s", cases, g)
+	}
+}
+
+// TestCFGSelectWithDefault pins that a default clause removes the
+// dispatcher's direct edge to after (control always enters some clause).
+func TestCFGSelectWithDefault(t *testing.T) {
+	g := buildCFG(t, `
+	ch := make(chan int)
+	select {
+	case <-ch:
+	default:
+	}`)
+	after := findKind(t, g, "switch.after")
+	if hasEdge(g.Entry, after) {
+		t.Errorf("select with default should not fall through dispatch->after:\n%s", g)
+	}
+}
+
+// TestCFGDeferInLoop pins that a defer inside a loop body is an ordinary
+// node of the body block — visible to per-block transfer functions every
+// iteration, not hoisted or lost.
+func TestCFGDeferInLoop(t *testing.T) {
+	g := buildCFG(t, `
+	for i := 0; i < 2; i++ {
+		defer func() {}()
+	}`)
+	body := findKind(t, g, "for.body")
+	if len(body.Nodes) != 1 {
+		t.Fatalf("loop body has %d nodes, want 1:\n%s", len(body.Nodes), g)
+	}
+	if _, ok := body.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Errorf("loop body node is %T, want *ast.DeferStmt", body.Nodes[0])
+	}
+}
+
+// TestCFGPanicExit pins that a panic call ends its block with an edge to
+// the single exit, and code after it survives as an unreachable block.
+func TestCFGPanicExit(t *testing.T) {
+	g := buildCFG(t, "panic(\"boom\")\n_ = 1")
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Errorf("panic does not edge to exit:\n%s", g)
+	}
+	unreachable := findKind(t, g, "unreachable")
+	for _, b := range g.Reachable() {
+		if b == unreachable {
+			t.Errorf("code after panic is marked reachable:\n%s", g)
+		}
+	}
+}
+
+// TestCFGGotoBackward pins goto wiring in both directions.
+func TestCFGGoto(t *testing.T) {
+	g := buildCFG(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	goto done
+done:
+	_ = i`)
+	label := findKind(t, g, "label.loop")
+	done := findKind(t, g, "label.done")
+	backEdge, fwdEdge := false, false
+	for _, b := range g.Blocks {
+		if br, ok := b.Term.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+			switch br.Label.Name {
+			case "loop":
+				backEdge = backEdge || hasEdge(b, label)
+			case "done":
+				fwdEdge = fwdEdge || hasEdge(b, done)
+			}
+		}
+	}
+	if !backEdge {
+		t.Errorf("backward goto not wired to its label block:\n%s", g)
+	}
+	if !fwdEdge {
+		t.Errorf("forward goto not wired to its label block:\n%s", g)
+	}
+}
+
+// TestCFGRangeLoop pins the range head's two-way edge and the body's
+// back edge.
+func TestCFGRange(t *testing.T) {
+	g := buildCFG(t, "xs := []int{1}\nfor _, x := range xs {\n _ = x\n}\n_ = 1")
+	head := findKind(t, g, "range.head")
+	body := findKind(t, g, "range.body")
+	after := findKind(t, g, "range.after")
+	if !hasEdge(head, body) || !hasEdge(head, after) || !hasEdge(body, head) {
+		t.Errorf("range edges wrong:\n%s", g)
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Errorf("range head should hold the RangeStmt, has %T", head.Nodes[0])
+	}
+}
+
+// TestCFGSwitchFallthrough pins that fallthrough chains clause blocks.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		fallthrough
+	case 2:
+		_ = x
+	default:
+		_ = x
+	}`)
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("got %d case blocks, want 3:\n%s", len(cases), g)
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Errorf("fallthrough does not chain case 1 -> case 2:\n%s", g)
+	}
+	after := findKind(t, g, "switch.after")
+	if hasEdge(g.Entry, after) {
+		t.Errorf("switch with default should not fall through dispatch->after:\n%s", g)
+	}
+	_ = reachableKinds(g)
+}
+
+// TestForwardFixpoint drives the dataflow driver over a loop with a
+// simple reaching-flag lattice and checks it converges to the merged
+// state.
+func TestForwardFixpoint(t *testing.T) {
+	g := buildCFG(t, `
+	x := 0
+	for x < 10 {
+		x++
+	}
+	_ = x`)
+	// Fact: number of distinct blocks seen on some path (bounded lattice:
+	// capped set union via bitmask over block indexes).
+	type fact uint64
+	merge := func(a, b fact) fact { return a | b }
+	equal := func(a, b fact) bool { return a == b }
+	transfer := func(b *Block, in fact) fact { return in | fact(1)<<uint(b.Index) }
+	states := Forward(g, fact(0), merge, transfer, equal)
+	after := findKind(t, g, "for.after")
+	st, ok := states[after]
+	if !ok {
+		t.Fatalf("no state for for.after:\n%s", g)
+	}
+	head := findKind(t, g, "for.head")
+	body := findKind(t, g, "for.body")
+	if st&(1<<uint(head.Index)) == 0 || st&(1<<uint(body.Index)) == 0 {
+		t.Errorf("after-state %b misses head/body bits:\n%s", st, g)
+	}
+}

@@ -1,0 +1,82 @@
+package analysis
+
+// A small forward dataflow driver over the CFG: facts flow from Entry,
+// predecessor out-states are merged over paths, and blocks re-run until
+// a fixpoint. The driver is generic in the fact type F; an analyzer
+// supplies the lattice (merge, equal) and the block transfer function.
+// With a finite fact domain and a monotone transfer, termination is the
+// usual argument; the driver additionally caps iteration at a generous
+// bound so a buggy transfer degrades into a conservative (partial)
+// result instead of a hang.
+
+// Forward computes the fixpoint in-state of every reachable block.
+//
+//	init     is the fact entering the function (at Entry).
+//	merge    joins two predecessor out-states ("merge over paths").
+//	transfer applies one block to its in-state and returns the out-state.
+//	equal    detects stabilization of a block's in-state.
+//
+// The returned map holds each reachable block's final IN-state (the
+// merged state before its first node); unreachable blocks are absent.
+// Facts must be treated as immutable: transfer and merge return fresh
+// values rather than mutating their arguments.
+func Forward[F any](g *CFG, init F, merge func(a, b F) F, transfer func(b *Block, in F) F, equal func(a, b F) bool) map[*Block]F {
+	preds := g.Preds()
+	in := map[*Block]F{g.Entry: init}
+	out := map[*Block]F{}
+
+	// Worklist seeded in index order for deterministic iteration.
+	inList := make(map[*Block]bool)
+	var list []*Block
+	push := func(b *Block) {
+		if !inList[b] {
+			inList[b] = true
+			list = append(list, b)
+		}
+	}
+	push(g.Entry)
+
+	// Each block can only be re-queued when a predecessor's out-state
+	// changed; with monotone transfers over a finite lattice the loop
+	// terminates long before this bound.
+	budget := 64 * (len(g.Blocks) + 1) * (len(g.Blocks) + 1)
+	for len(list) > 0 && budget > 0 {
+		budget--
+		b := list[0]
+		list = list[1:]
+		inList[b] = false
+
+		state, seeded := in[b], b == g.Entry
+		for _, p := range preds[b.Index] {
+			po, ok := out[p]
+			if !ok {
+				continue
+			}
+			if !seeded {
+				state, seeded = po, true
+			} else {
+				state = merge(state, po)
+			}
+		}
+		if !seeded {
+			continue // no predecessor has produced a state yet
+		}
+		prev, had := in[b]
+		if had && b != g.Entry && equal(prev, state) {
+			if _, done := out[b]; done {
+				continue
+			}
+		}
+		in[b] = state
+		newOut := transfer(b, state)
+		prevOut, hadOut := out[b]
+		if hadOut && equal(prevOut, newOut) {
+			continue
+		}
+		out[b] = newOut
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return in
+}

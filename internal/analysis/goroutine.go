@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineAnalyzer is the goroutine-ctx check: every `go` statement in
+// the concurrency-bearing packages must observe a shutdown signal on
+// some path — a ctx.Done()/ctx.Err() check, a sync.WaitGroup (Done to
+// let a parent Wait, or Wait itself), or a channel operation tying its
+// lifetime to a peer (receive, range-over-channel, select, or a
+// rendezvous send). A goroutine with none of these is a leak by
+// construction: nothing can ever observe or bound its lifetime.
+//
+// The check looks through one level of same-package calls, so
+// `go s.runJob(j)` is judged by runJob's body.
+var GoroutineAnalyzer = &Analyzer{
+	Name: "goroutine-ctx",
+	Doc:  "go statements in engine/serve/obs/telemetry observe ctx.Done, a WaitGroup, or a channel on some path",
+	Run:  runGoroutineCtx,
+}
+
+// goroutineCtxPkgs are the packages with real concurrency surface where
+// an unobservable goroutine is always a bug.
+var goroutineCtxPkgs = map[string]bool{
+	"internal/engine":    true,
+	"internal/serve":     true,
+	"internal/obs":       true,
+	"internal/telemetry": true,
+}
+
+func runGoroutineCtx(pass *Pass) {
+	if !goroutineCtxPkgs[pass.RelImportPath()] {
+		return
+	}
+	info := pass.Pkg.Info
+	decls := declBodies(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goStmtBody(info, decls, g)
+			if body == nil {
+				pass.Reportf(g.Pos(), "go statement calls a function with no body in this package: cannot verify the goroutine observes ctx.Done, a WaitGroup, or a close-signal channel")
+				return true
+			}
+			if !observesShutdown(info, body) {
+				pass.Reportf(g.Pos(), "goroutine observes neither ctx.Done() nor a sync.WaitGroup nor any channel on any path: nothing bounds its lifetime")
+			}
+			return true
+		})
+	}
+}
+
+// declBodies maps each function declared in the package to its body.
+func declBodies(pkg *Package) map[*types.Func]*ast.BlockStmt {
+	out := map[*types.Func]*ast.BlockStmt{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd.Body
+			}
+		}
+	}
+	return out
+}
+
+// goStmtBody resolves the body the spawned goroutine will run: a
+// function literal's body, or the declaration body of a same-package
+// function or method. Calls through function values or into other
+// packages have no visible body.
+func goStmtBody(info *types.Info, decls map[*types.Func]*ast.BlockStmt, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(info, g.Call); fn != nil {
+		return decls[fn]
+	}
+	return nil
+}
+
+// observesShutdown reports whether body contains any construct that ties
+// the goroutine's lifetime to the outside world.
+func observesShutdown(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			// close(done) is the producer side of the close-signal
+			// pattern: the parent's <-done bounds this goroutine.
+			if isBuiltinCall(info, x, "close") {
+				found = true
+				return false
+			}
+			// Calling a context.CancelFunc ties the goroutine to the
+			// context lifecycle (it exists to signal ctx.Done()).
+			if tv, ok := info.Types[ast.Unparen(x.Fun)]; ok {
+				if named := namedOf(tv.Type); named != nil && named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "CancelFunc" {
+					found = true
+					return false
+				}
+			}
+			fn := calleeFunc(info, x)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "sync" && recvTypeName(sig.Recv().Type()) == "WaitGroup" &&
+				(fn.Name() == "Done" || fn.Name() == "Wait"):
+				found = true
+			case fn.Pkg().Path() == "context" &&
+				(fn.Name() == "Done" || fn.Name() == "Err" || fn.Name() == "Deadline"):
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -104,9 +104,9 @@ type dirPkg struct {
 // contain go.mod). Type errors are reported as a single error; the
 // loader never panics on syntactically valid but type-broken code.
 func LoadModule(dir string) (*Module, error) {
-	loadMu.Lock()
-	defer loadMu.Unlock()
-
+	// Resolve and read go.mod before taking loadMu: a caller with a bad
+	// path fails fast instead of queueing behind another load, and no
+	// file IO happens under the lock.
 	dir, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -119,6 +119,9 @@ func LoadModule(dir string) (*Module, error) {
 	if modPath == "" {
 		return nil, fmt.Errorf("analysis: no module path in %s", filepath.Join(dir, "go.mod"))
 	}
+
+	loadMu.Lock()
+	defer loadMu.Unlock()
 	mod := &Module{Path: modPath, Dir: dir, Fset: sharedFset, base: map[string]*types.Package{}}
 
 	pkgs, err := parseTree(mod)

@@ -1,0 +1,492 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockAnalyzer is the flow-sensitive lock-discipline check. Over the CFG
+// of every function it tracks the set of sync.Mutex/sync.RWMutex values
+// held at each program point (merge over paths) and reports two classes
+// of defect:
+//
+//   - a Lock/RLock that can reach the function's exit — a return, an
+//     explicit panic, or falling off the end — still held, with no
+//     deferred or explicit release on that path (the classic early-return
+//     leak that deadlocks the next contender), and
+//
+//   - a blocking operation executed while any lock is held: a channel
+//     send or receive, a select without a default, ranging over a
+//     channel, time.Sleep, WaitGroup.Wait, process waits, network dials
+//     and reads, or opening/fsyncing files. A goroutine parked on one of
+//     these keeps the lock and stalls every contender for as long as the
+//     operation blocks — unboundedly, for channels and network reads.
+//
+// sync.Cond.Wait is deliberately not a blocking operation here: it
+// atomically releases its mutex while parked, which is exactly the
+// sanctioned pattern (internal/serve's queue dispatcher). Closing a
+// channel never blocks and is likewise fine under a lock.
+var LockAnalyzer = &Analyzer{
+	Name: "lock-discipline",
+	Doc:  "every Lock is released on all paths, and no blocking op (channel, select, sleep, IO) runs under a held lock",
+	Run:  runLockDiscipline,
+}
+
+// lockFact is the dataflow fact: the locks that may be held (key ->
+// earliest acquisition position) and the locks with a deferred release
+// on every path so far (must-deferred).
+type lockFact struct {
+	held map[string]token.Pos
+	def  map[string]bool
+}
+
+func (f lockFact) clone() lockFact {
+	g := lockFact{held: make(map[string]token.Pos, len(f.held)), def: make(map[string]bool, len(f.def))}
+	for k, v := range f.held {
+		g.held[k] = v
+	}
+	for k := range f.def {
+		g.def[k] = true
+	}
+	return g
+}
+
+// mergeLockFacts joins two path states: a lock held on either path may
+// be held (union, earliest position wins for stable messages); a
+// deferred release counts only when both paths deferred it
+// (intersection), so a defer inside one branch does not excuse the
+// other.
+func mergeLockFacts(a, b lockFact) lockFact {
+	m := a.clone()
+	for k, pos := range b.held {
+		if have, ok := m.held[k]; !ok || pos < have {
+			m.held[k] = pos
+		}
+	}
+	for k := range m.def {
+		if !b.def[k] {
+			delete(m.def, k)
+		}
+	}
+	return m
+}
+
+func equalLockFacts(a, b lockFact) bool {
+	if len(a.held) != len(b.held) || len(a.def) != len(b.def) {
+		return false
+	}
+	for k, v := range a.held {
+		if bv, ok := b.held[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for k := range a.def {
+		if !b.def[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockOp classifies one lock-relevant call.
+type lockOp struct {
+	key     string // lock identity: receiver expression text (+ ":r" for read side)
+	acquire bool
+	release bool
+}
+
+// classifyLockCall recognizes Lock/Unlock/RLock/RUnlock calls on
+// sync.Mutex, sync.RWMutex, and the sync.Locker interface.
+func classifyLockCall(info *types.Info, call *ast.CallExpr) (lockOp, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockOp{}, false
+	}
+	switch recvTypeName(sig.Recv().Type()) {
+	case "Mutex", "RWMutex", "Locker":
+	default:
+		return lockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	key := types.ExprString(sel.X)
+	op := lockOp{}
+	switch fn.Name() {
+	case "Lock":
+		op.key, op.acquire = key, true
+	case "Unlock":
+		op.key, op.release = key, true
+	case "RLock":
+		op.key, op.acquire = key+":r", true
+	case "RUnlock":
+		op.key, op.release = key+":r", true
+	default:
+		return lockOp{}, false
+	}
+	return op, true
+}
+
+// lockKeyName strips the read-side marker for messages.
+func lockKeyName(key string) string { return strings.TrimSuffix(key, ":r") }
+
+// passInfo adapts a types.Info to the CFG builder's panic recognizer.
+type passInfo struct{ info *types.Info }
+
+func (p passInfo) isPanicCall(call *ast.CallExpr) bool {
+	return isBuiltinCall(p.info, call, "panic")
+}
+
+func runLockDiscipline(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, fn := range functionsOf(file) {
+			checkLockDiscipline(pass, info, fn)
+		}
+	}
+}
+
+// fnBody is one analyzable function: a declaration or a function
+// literal (analyzed as its own unit; its statements are opaque to the
+// enclosing function's CFG).
+type fnBody struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// functionsOf collects every function body in the file: declarations
+// plus all nested function literals.
+func functionsOf(file *ast.File) []fnBody {
+	var out []fnBody
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, fnBody{name: fd.Name.Name, body: fd.Body})
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, fnBody{name: name + ".func", body: lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// selectExemptions returns the comm statements of every select in body:
+// their channel operations are select dispatch, reported (if at all)
+// through the SelectStmt itself, never individually.
+func selectExemptions(body *ast.BlockStmt) map[ast.Node]bool {
+	exempt := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, raw := range sel.Body.List {
+			if c, ok := raw.(*ast.CommClause); ok && c.Comm != nil {
+				exempt[c.Comm] = true
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// selectHasDefault reports whether sel has a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, raw := range sel.Body.List {
+		if c, ok := raw.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scanNode visits the parts of a block node that execute at that program
+// point, skipping subtrees that run elsewhere or later: function literal
+// bodies, select comm clauses and case bodies (they live in their own
+// blocks), range bodies (only the range expression evaluates at the
+// head), and the calls of go/defer statements (only their arguments
+// evaluate now).
+func scanNode(n ast.Node, exempt map[ast.Node]bool, visit func(ast.Node)) {
+	var walk func(root ast.Node)
+	walk = func(root ast.Node) {
+		if root == nil {
+			return
+		}
+		ast.Inspect(root, func(sub ast.Node) bool {
+			if sub == nil {
+				return false
+			}
+			if exempt[sub] {
+				return false
+			}
+			switch x := sub.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				visit(x)
+				return false
+			case *ast.RangeStmt:
+				visit(x)
+				walk(x.X)
+				return false
+			case *ast.GoStmt:
+				visit(x)
+				for _, a := range x.Call.Args {
+					walk(a)
+				}
+				return false
+			case *ast.DeferStmt:
+				visit(x)
+				for _, a := range x.Call.Args {
+					walk(a)
+				}
+				return false
+			}
+			visit(sub)
+			return true
+		})
+	}
+	walk(n)
+}
+
+func checkLockDiscipline(pass *Pass, info *types.Info, fn fnBody) {
+	g := BuildCFG(fn.body, passInfo{info})
+	exempt := selectExemptions(fn.body)
+
+	transfer := func(b *Block, in lockFact) lockFact {
+		st := in.clone()
+		for _, n := range b.Nodes {
+			applyLockNode(info, n, exempt, &st)
+		}
+		return st
+	}
+	init := lockFact{held: map[string]token.Pos{}, def: map[string]bool{}}
+	states := Forward(g, init, mergeLockFacts, transfer, equalLockFacts)
+
+	// Reporting pass: replay each reachable block from its fixpoint
+	// in-state, flagging blocking ops under a held lock and exits that
+	// escape with an undeferred lock.
+	type leak struct {
+		key string
+		pos token.Pos
+	}
+	leaks := map[leak]token.Pos{} // leak -> position of the escaping exit
+	var leakOrder []leak
+	for _, b := range g.Reachable() {
+		in, ok := states[b]
+		if !ok {
+			continue
+		}
+		st := in.clone()
+		for _, n := range b.Nodes {
+			if len(st.held) > 0 {
+				reportBlockingUnderLock(pass, info, n, st, exempt)
+			}
+			applyLockNode(info, n, exempt, &st)
+		}
+		exits := false
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		if !exits || b == g.Entry && len(b.Nodes) == 0 {
+			continue
+		}
+		for key, pos := range st.held {
+			if st.def[key] {
+				continue
+			}
+			l := leak{key, pos}
+			if _, seen := leaks[l]; !seen {
+				exitPos := pos
+				if b.Term != nil {
+					exitPos = b.Term.Pos()
+				} else if len(b.Nodes) > 0 {
+					exitPos = b.Nodes[len(b.Nodes)-1].Pos()
+				}
+				leaks[l] = exitPos
+				leakOrder = append(leakOrder, l)
+			}
+		}
+	}
+	sort.Slice(leakOrder, func(i, j int) bool {
+		if leakOrder[i].pos != leakOrder[j].pos {
+			return leakOrder[i].pos < leakOrder[j].pos
+		}
+		return leakOrder[i].key < leakOrder[j].key
+	})
+	for _, l := range leakOrder {
+		exitPos := pass.Module.Fset.Position(leaks[l])
+		pass.Reportf(l.pos,
+			"%s is locked in %s but not released on the path exiting at line %d: unlock on every path or defer the unlock",
+			lockKeyName(l.key), fn.name, exitPos.Line)
+	}
+}
+
+// applyLockNode updates the lock state for one block node.
+func applyLockNode(info *types.Info, n ast.Node, exempt map[ast.Node]bool, st *lockFact) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		for _, key := range deferredReleases(info, d) {
+			st.def[key] = true
+		}
+		return
+	}
+	scanNode(n, exempt, func(sub ast.Node) {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		op, ok := classifyLockCall(info, call)
+		if !ok {
+			return
+		}
+		switch {
+		case op.acquire:
+			if _, already := st.held[op.key]; !already {
+				st.held[op.key] = call.Pos()
+			}
+		case op.release:
+			delete(st.held, op.key)
+			delete(st.def, op.key)
+		}
+	})
+}
+
+// deferredReleases returns the lock keys a defer statement releases:
+// a direct `defer mu.Unlock()` or releases inside a deferred closure.
+func deferredReleases(info *types.Info, d *ast.DeferStmt) []string {
+	var keys []string
+	if op, ok := classifyLockCall(info, d.Call); ok && op.release {
+		keys = append(keys, op.key)
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ok := classifyLockCall(info, call); ok && op.release {
+					keys = append(keys, op.key)
+				}
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+// heldSummary renders the held set for messages, earliest lock first.
+func heldSummary(st lockFact) (name string, pos token.Pos) {
+	best := token.Pos(0)
+	for key, p := range st.held {
+		if best == 0 || p < best {
+			best, name = p, lockKeyName(key)
+		}
+	}
+	return name, best
+}
+
+// reportBlockingUnderLock flags blocking operations in node n given the
+// locks held before it executes.
+func reportBlockingUnderLock(pass *Pass, info *types.Info, n ast.Node, st lockFact, exempt map[ast.Node]bool) {
+	lock, lockPos := heldSummary(st)
+	lockLine := pass.Module.Fset.Position(lockPos).Line
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s while holding %s (locked at line %d): the lock is pinned for as long as this blocks",
+			what, lock, lockLine)
+	}
+	scanNode(n, exempt, func(sub ast.Node) {
+		switch x := sub.(type) {
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				report(x.Pos(), "select without default")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); isChan {
+					report(x.Pos(), "ranging over a channel")
+				}
+			}
+		case *ast.SendStmt:
+			report(x.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				report(x.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if what := blockingCallDesc(info, x); what != "" {
+				report(x.Pos(), what)
+			}
+		}
+	})
+}
+
+// blockingCallDesc reports whether call is a known potentially-unbounded
+// blocking operation, returning a short description or "".
+func blockingCallDesc(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recvName := recvTypeName(sig.Recv().Type())
+		switch {
+		case pkg == "sync" && recvName == "WaitGroup" && name == "Wait":
+			return "sync.WaitGroup.Wait"
+		case pkg == "os/exec" && recvName == "Cmd" && (name == "Run" || name == "Wait" || name == "Output" || name == "CombinedOutput"):
+			return "os/exec.Cmd." + name
+		case pkg == "net" && (recvName == "Listener" && name == "Accept" || recvName == "Conn" && (name == "Read" || name == "Write")):
+			return "net." + recvName + "." + name
+		case pkg == "net/http" && recvName == "Client" && (name == "Do" || name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+			return "http.Client." + name
+		case pkg == "os" && recvName == "File" && name == "Sync":
+			return "os.File.Sync"
+		}
+		return ""
+	}
+	switch pkg {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net":
+		if name == "Dial" || name == "DialTimeout" {
+			return "net." + name
+		}
+	case "net/http":
+		if name == "Get" || name == "Post" || name == "PostForm" || name == "Head" {
+			return "http." + name
+		}
+	case "os":
+		switch name {
+		case "Open", "OpenFile", "Create", "ReadFile", "WriteFile":
+			return "os." + name
+		}
+	}
+	return ""
+}
+
+// recvTypeName returns the named type of a method receiver, through one
+// pointer; interface receivers report their named interface ("Locker").
+func recvTypeName(t types.Type) string {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named := namedOf(t); named != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}

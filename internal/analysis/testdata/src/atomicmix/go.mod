@@ -1,0 +1,3 @@
+module atomicmix
+
+go 1.22

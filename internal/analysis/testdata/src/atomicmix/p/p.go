@@ -1,0 +1,58 @@
+// Package p exercises the atomic-mix analyzer.
+package p
+
+import "sync/atomic"
+
+// C mixes access styles on n, is disciplined on safe (typed atomic) and
+// plain (never atomic), and exports N for cross-package atomics.
+type C struct {
+	n     uint64
+	N     uint64
+	safe  atomic.Uint64
+	plain uint64
+}
+
+// AtomicInc is the sanctioned access style for n.
+func (c *C) AtomicInc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// AtomicLoad is also sanctioned.
+func (c *C) AtomicLoad() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// MixedRead reads n directly: finding.
+func (c *C) MixedRead() uint64 {
+	return c.n
+}
+
+// MixedWrite writes n directly: finding.
+func (c *C) MixedWrite() {
+	c.n = 0
+}
+
+// CrossPkgRead reads N directly; package q accesses N atomically, so
+// this is a finding even though this package never imports sync/atomic
+// for N.
+func (c *C) CrossPkgRead() uint64 {
+	return c.N
+}
+
+// TypedOK uses the typed atomic wrapper: its only access path is
+// already atomic, nothing to check.
+func (c *C) TypedOK() uint64 {
+	return c.safe.Load()
+}
+
+// PlainOK never mixes: plain is plain everywhere.
+func (c *C) PlainOK() uint64 {
+	c.plain++
+	return c.plain
+}
+
+// Allowed suppresses an audited direct read.
+func (c *C) Allowed() uint64 {
+	//dynexcheck:allow atomic-mix fixture-audited: constructor runs before any goroutine exists
+	return c.n
+}

@@ -1,0 +1,14 @@
+// Package q accesses p.C's exported field atomically; mixing is judged
+// module-wide, so p's direct reads of N become findings.
+package q
+
+import (
+	"sync/atomic"
+
+	"atomicmix/p"
+)
+
+// Bump is the sanctioned access to N.
+func Bump(c *p.C) {
+	atomic.AddUint64(&c.N, 1)
+}

@@ -1,0 +1,3 @@
+module goroutinectx
+
+go 1.22

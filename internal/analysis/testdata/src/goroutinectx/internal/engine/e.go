@@ -1,0 +1,75 @@
+// Package engine exercises the goroutine-ctx analyzer inside a scoped
+// package.
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+func spin() {}
+
+// Leak spawns a goroutine nothing can observe: finding.
+func Leak() {
+	go func() {
+		for {
+			spin()
+		}
+	}()
+}
+
+// Opaque spawns through a function value with no visible body: finding.
+func Opaque(f func()) {
+	go f()
+}
+
+// CtxOK waits on ctx.Done: clean.
+func CtxOK(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// WgOK signals a WaitGroup: clean.
+func WgOK(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spin()
+	}()
+}
+
+// CloseOK closes a done channel the parent can wait on: clean.
+func CloseOK() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		spin()
+	}()
+	return done
+}
+
+// CancelOK exists to fire a CancelFunc, tying it to the ctx lifecycle:
+// clean.
+func CancelOK(cancel context.CancelFunc) {
+	go func() {
+		cancel()
+	}()
+}
+
+// NamedOK follows one level into a same-package function: clean.
+func NamedOK(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Allowed is an audited fire-and-forget goroutine: suppressed.
+func Allowed() {
+	//dynexcheck:allow goroutine-ctx fixture-audited process-lifetime helper
+	go func() {
+		spin()
+	}()
+}

@@ -1,0 +1,14 @@
+// Package other is outside the goroutine-ctx scope: unobservable
+// goroutines here are not findings.
+package other
+
+func spin() {}
+
+// OutOfScope would be a finding in engine/serve/obs/telemetry.
+func OutOfScope() {
+	go func() {
+		for {
+			spin()
+		}
+	}()
+}

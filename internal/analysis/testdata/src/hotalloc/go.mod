@@ -1,0 +1,3 @@
+module hotalloc
+
+go 1.22

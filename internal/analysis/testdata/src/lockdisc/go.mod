@@ -1,0 +1,3 @@
+module lockdisc
+
+go 1.22

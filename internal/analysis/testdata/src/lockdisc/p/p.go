@@ -1,0 +1,160 @@
+// Package p exercises the lock-discipline analyzer.
+package p
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+	ch chan int
+}
+
+// LeakOnEarlyReturn leaks the lock on the cond path: finding at Lock.
+func (s *S) LeakOnEarlyReturn(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// RLockLeak leaks the read lock on the early return: finding at RLock.
+func (s *S) RLockLeak(cond bool) int {
+	s.rw.RLock()
+	if cond {
+		return -1
+	}
+	s.rw.RUnlock()
+	return s.n
+}
+
+// PanicLeak exits through panic with the lock held: finding.
+func (s *S) PanicLeak(cond bool) {
+	s.mu.Lock()
+	if cond {
+		panic("boom")
+	}
+	s.mu.Unlock()
+}
+
+// SleepUnderLock blocks while holding the mutex: finding at the sleep.
+func (s *S) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+// SendUnderLock sends on a channel under the lock: finding at the send.
+func (s *S) SendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v
+}
+
+// RecvUnderLock receives under the lock: finding at the receive.
+func (s *S) RecvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch
+}
+
+// SelectNoDefaultUnderLock parks in select under the lock: one finding
+// at the select, not per comm clause.
+func (s *S) SelectNoDefaultUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	case s.ch <- s.n:
+	}
+}
+
+// IOUnderLock opens a file while holding the lock: finding.
+func (s *S) IOUnderLock(client *http.Client) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = client.Get("http://example.invalid")
+}
+
+// Allowed suppresses an audited blocking op.
+func (s *S) Allowed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//dynexcheck:allow lock-discipline fixture-audited: bounded test delay
+	time.Sleep(time.Microsecond)
+}
+
+// DeferOK releases through defer on every path: clean.
+func (s *S) DeferOK(cond bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		return 0
+	}
+	return s.n
+}
+
+// BranchesOK releases explicitly on both paths: clean.
+func (s *S) BranchesOK(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// LoopOK locks and unlocks inside each iteration: clean.
+func (s *S) LoopOK() {
+	for i := 0; i < 3; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// SelectDefaultOK never parks (default present) and is lock-free by the
+// time it would: clean.
+func (s *S) SelectDefaultOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+}
+
+// CondWaitOK holds the mutex around sync.Cond.Wait, which atomically
+// releases it while parked: clean by design.
+func (s *S) CondWaitOK(c *sync.Cond) {
+	c.L.Lock()
+	defer c.L.Unlock()
+	for s.n == 0 {
+		c.Wait()
+	}
+}
+
+// SleepAfterUnlockOK blocks only once the lock is gone: clean.
+func (s *S) SleepAfterUnlockOK() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// ReadWriteOK pairs the read lock with defer: clean.
+func (s *S) ReadWriteOK() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}

@@ -58,6 +58,8 @@ func kernelShifts(lineSize, nsets uint64) (lineShift int, setMask uint64, ok boo
 // hoisted out of the loop and outcome counters accumulate in locals,
 // flushed into Stats once per batch. Evictions route through OnEvict
 // exactly as the scalar path does.
+//
+//dynexcheck:hot
 func (c *DirectMapped) BatchAccess(refs []trace.Ref) BatchStats {
 	tags, valid := c.tags, c.valid
 	lineShift, setMask, ok := kernelShifts(c.geom.LineSize, uint64(len(tags)))
@@ -99,6 +101,8 @@ func (c *DirectMapped) BatchAccess(refs []trace.Ref) BatchStats {
 // The replacement clock advances in a register and is synced back before
 // every fill, so victim selection — including the RandomRepl RNG draw
 // sequence — and the OnEvict hook fire exactly as under scalar Access.
+//
+//dynexcheck:hot
 func (c *SetAssoc) BatchAccess(refs []trace.Ref) BatchStats {
 	sets := c.sets
 	lineShift, setMask, ok := kernelShifts(c.geom.LineSize, uint64(len(sets)))

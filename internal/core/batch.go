@@ -14,6 +14,8 @@ import (
 // State transitions, the hit-last store traffic, and the OnEvict /
 // OnExclude hook sequence are identical to scalar Access; the
 // conformance differential battery pins that.
+//
+//dynexcheck:hot
 func (c *Cache) BatchAccess(refs []trace.Ref) cache.BatchStats {
 	tags, valid, sticky, flag := c.tags, c.valid, c.sticky, c.flag
 	nsets := uint64(len(tags))

@@ -43,6 +43,7 @@ func ServeDebug(addr string, reg *Registry) (string, error) {
 		return "", fmt.Errorf("debug listener: %w", err)
 	}
 	srv := &http.Server{Handler: DebugMux(reg)}
+	//dynexcheck:allow goroutine-ctx deliberate process-lifetime server: ServeDebug is documented fire-and-forget, the listener dies with the process
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

@@ -159,9 +159,13 @@ func (f *family) get(values []string) *series {
 type Counter struct{ s *series }
 
 // Inc adds 1.
+//
+//dynexcheck:hot
 func (c *Counter) Inc() { c.s.count.Add(1) }
 
 // Add adds n.
+//
+//dynexcheck:hot
 func (c *Counter) Add(n uint64) { c.s.count.Add(n) }
 
 // Value returns the current count.
@@ -171,9 +175,13 @@ func (c *Counter) Value() uint64 { return c.s.count.Load() }
 type Gauge struct{ s *series }
 
 // Set stores v.
+//
+//dynexcheck:hot
 func (g *Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
 
 // Add moves the gauge by delta (negative to decrease).
+//
+//dynexcheck:hot
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.s.bits.Load()
@@ -193,6 +201,8 @@ type Histogram struct {
 }
 
 // Observe books one observation.
+//
+//dynexcheck:hot
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
 	h.s.hmu.Lock()

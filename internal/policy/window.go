@@ -96,6 +96,8 @@ func WindowCtx(ctx context.Context, sim cache.Simulator, refs []trace.Ref, warmu
 // runChunked drives sim over refs in windowChunk batches, checking ctx
 // between batches. cache.RunRefs applies the BatchAccess fast path
 // within each batch, so chunking changes nothing about the stats.
+//
+//dynexcheck:hot
 func runChunked(ctx context.Context, sim cache.Simulator, refs []trace.Ref) error {
 	for len(refs) > 0 {
 		n := windowChunk

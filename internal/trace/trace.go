@@ -72,6 +72,8 @@ type BatchReader interface {
 // ReadBatch fills a prefix of dst from r, using the reader's bulk path
 // when it has one and falling back to per-reference Next calls
 // otherwise. The return contract is BatchReader's.
+//
+//dynexcheck:hot
 func ReadBatch(r Reader, dst []Ref) (int, error) {
 	if br, ok := r.(BatchReader); ok {
 		return br.ReadBatch(dst)
@@ -116,6 +118,8 @@ func (r *SliceReader) Next() (Ref, error) {
 }
 
 // ReadBatch copies the next run of references into dst.
+//
+//dynexcheck:hot
 func (r *SliceReader) ReadBatch(dst []Ref) (int, error) {
 	if r.pos >= len(r.refs) {
 		return 0, io.EOF

@@ -26,6 +26,8 @@ func (l *limitReader) Next() (Ref, error) {
 
 // ReadBatch delivers up to the remaining budget through the wrapped
 // reader's bulk path.
+//
+//dynexcheck:hot
 func (l *limitReader) ReadBatch(dst []Ref) (int, error) {
 	if l.left <= 0 {
 		return 0, io.EOF
@@ -89,6 +91,7 @@ func (f *kindFilter) Next() (Ref, error) {
 	}
 }
 
+//dynexcheck:hot
 func (f *kindFilter) ReadBatch(dst []Ref) (int, error) {
 	n := copy(dst, f.buf[f.pos:f.end])
 	f.pos += n
@@ -101,6 +104,7 @@ func (f *kindFilter) ReadBatch(dst []Ref) (int, error) {
 		return n, err
 	}
 	if f.buf == nil {
+		//dynexcheck:allow hotpath-alloc one-time lazy buffer, reused for the stream's lifetime; amortized to zero per ref
 		f.buf = make([]Ref, 1<<12)
 	}
 	for n < len(dst) {
