@@ -40,19 +40,21 @@ cover:
 bench:
 	go test -bench=. -benchmem .
 
-# Machine-readable run telemetry for the committed BENCH_8.json: a
-# standard sweep with -report (see DESIGN.md §8). The grid is sized so
-# one synthesized stream feeds 16 batch-kernel cells, which is the
-# throughput story the report records (see DESIGN.md §11); run the same
-# command with -scalar for the devirtualization baseline. BENCH_8 is
-# the same grid as BENCH_6, regenerated with the obs instrumentation
-# wired in (DESIGN.md §13) — refs/sec must stay within noise of
-# BENCH_6. CI's bench-smoke job runs the same target and asserts the
-# JSON parses.
+# Machine-readable run telemetry for the committed BENCH_10.json: a
+# standard sweep with -report (see DESIGN.md §8). The grid is the
+# column-kernel showcase (DESIGN.md §15): one synthesized gcc stream
+# feeds 50 direct-mapped geometry cells, and each 10-cell power-of-two
+# size column retires in a single stream pass, so the sweep is priced
+# at roughly one decode per reference per (line, policy) pair instead
+# of one pass per cell. Run the same command with -multisim=off for
+# the per-cell batch-kernel baseline (~190M refs/sec on the reference
+# box; BENCH_8's 16-cell mixed-policy grid recorded ~157M). CI's
+# bench-smoke job runs the same target and asserts the JSON parses.
 bench-report:
 	go run ./cmd/dynex-sweep -bench gcc -refs 2000000 \
-		-sizes 16384,32768,65536,131072 \
-		-policies dm,de,de:store=hashed*4,fifo -report BENCH_8.json > /dev/null
+		-sizes 1024,2048,4096,8192,16384,32768,65536,131072,262144,524288 \
+		-lines 4,8,16,32,64 \
+		-policies dm -report BENCH_10.json > /dev/null
 
 # Regenerate every paper figure (writes experiments_1m.txt).
 experiments:

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// normalizeJournal parses a checkpoint journal and returns its records
+// with the wall-clock field zeroed and the lines sorted: everything a
+// journal promises (fingerprints, labels, stats, attempts) must match
+// across execution modes; wall time and completion order may not.
+func normalizeJournal(t *testing.T, path string) string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", sc.Text(), err)
+		}
+		delete(rec, "wall_ns")
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestSweepMultisimByteIdentity is the tentpole acceptance check at the
+// CLI surface: the full policy registry over a power-of-two size grid
+// produces byte-identical CSV with -multisim=on and -multisim=off, and
+// the checkpoint journals record the same cells, fingerprints, and
+// stats (order and wall time are the only permitted differences).
+func TestSweepMultisimByteIdentity(t *testing.T) {
+	out, _, err := runSweep(t, "-list-policies")
+	if err != nil {
+		t.Fatalf("-list-policies: %v", err)
+	}
+	policies := strings.Join(strings.Fields(out), ",")
+	dir := t.TempDir()
+	jOn := filepath.Join(dir, "on.jsonl")
+	jOff := filepath.Join(dir, "off.jsonl")
+	args := []string{"-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192,16384,32768",
+		"-lines", "4,16", "-policies", policies}
+
+	on, _, err := runSweep(t, append(args, "-multisim=on", "-checkpoint", jOn)...)
+	if err != nil {
+		t.Fatalf("-multisim=on run: %v", err)
+	}
+	off, _, err := runSweep(t, append(args, "-multisim=off", "-checkpoint", jOff)...)
+	if err != nil {
+		t.Fatalf("-multisim=off run: %v", err)
+	}
+	if on != off {
+		t.Errorf("-multisim=on CSV differs from -multisim=off:\n--- on\n%s--- off\n%s", on, off)
+	}
+	if a, b := normalizeJournal(t, jOn), normalizeJournal(t, jOff); a != b {
+		t.Errorf("journals differ between modes:\n--- on\n%s\n--- off\n%s", a, b)
+	}
+}
+
+// TestSweepMultisimFlag pins the flag surface: on conflicts with
+// -scalar (columns are inherently batched), and junk values are
+// rejected.
+func TestSweepMultisimFlag(t *testing.T) {
+	_, _, err := runSweep(t, "-bench", "gcc", "-refs", "1000", "-sizes", "4096,8192",
+		"-multisim=on", "-scalar")
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-multisim=on -scalar: err = %v, want a mutual-exclusion error", err)
+	}
+	_, _, err = runSweep(t, "-bench", "gcc", "-refs", "1000", "-sizes", "4096", "-multisim=sometimes")
+	if err == nil || !strings.Contains(err.Error(), "bad -multisim") {
+		t.Errorf("bad value: err = %v, want a parse error", err)
+	}
+	// auto + -scalar is fine: columns just turn off.
+	if _, _, err := runSweep(t, "-bench", "gcc", "-refs", "1000", "-sizes", "4096,8192",
+		"-policies", "dm", "-scalar"); err != nil {
+		t.Errorf("-scalar under auto: %v", err)
+	}
+}
+
+// TestSweepMultisimResumeAcrossModes checks the checkpoint journal is
+// mode-blind: a journal written cell-by-cell resumes under -multisim=on
+// (and one written by column kernels resumes under -multisim=off) with
+// CSV byte-identical to an uninterrupted run.
+func TestSweepMultisimResumeAcrossModes(t *testing.T) {
+	base := []string{"-bench", "gcc", "-refs", "20000", "-lines", "4",
+		"-policies", "dm,de,lru,fifo"}
+	full := append([]string{"-sizes", "4096,8192,16384"}, base...)
+
+	want, _, err := runSweep(t, full...)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	for _, swtch := range []struct{ writeMode, resumeMode string }{
+		{"off", "on"},
+		{"on", "off"},
+	} {
+		ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+		// Journal part of the grid in one mode (one size: no column has
+		// two members, so "on" still writes cell-shaped records)...
+		partial := append([]string{"-sizes", "4096", "-checkpoint", ckpt, "-multisim=" + swtch.writeMode}, base...)
+		if _, _, err := runSweep(t, partial...); err != nil {
+			t.Fatalf("partial %s run: %v", swtch.writeMode, err)
+		}
+		// ...and resume the rest in the other mode.
+		got, stderr, err := runSweep(t, append(full, "-checkpoint", ckpt, "-multisim="+swtch.resumeMode)...)
+		if err != nil {
+			t.Fatalf("resume under %s: %v\nstderr: %s", swtch.resumeMode, err, stderr)
+		}
+		if !strings.Contains(stderr, "resuming: 4 of 12 cells journaled") {
+			t.Errorf("%s->%s: stderr = %q, want a 4-of-12 resume banner", swtch.writeMode, swtch.resumeMode, stderr)
+		}
+		if got != want {
+			t.Errorf("%s->%s: resumed CSV differs from uninterrupted run", swtch.writeMode, swtch.resumeMode)
+		}
+	}
+}
+
+// TestSweepMultisimMidColumnKill kills members mid-column via fault
+// injection: the panicking size is carved out of its columns, the
+// surviving members journal, and a clean resume under -multisim=on
+// completes the grid byte-identically.
+func TestSweepMultisimMidColumnKill(t *testing.T) {
+	base := []string{"-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192,16384",
+		"-policies", "dm,de"}
+
+	want, _, err := runSweep(t, base...)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+	_, stderr, err := runSweep(t, append([]string{"-checkpoint", ckpt, "-multisim=on",
+		"-inject", "panic=/16384"}, base...)...)
+	if err == nil || !strings.Contains(err.Error(), "2 of 6 cells failed") {
+		t.Fatalf("injected run: err = %v, want a 2-of-6 failure\nstderr: %s", err, stderr)
+	}
+	if !strings.Contains(stderr, "panicked") {
+		t.Errorf("stderr = %q, want the injected panic reported", stderr)
+	}
+
+	got, stderr, err := runSweep(t, append([]string{"-checkpoint", ckpt, "-multisim=on"}, base...)...)
+	if err != nil {
+		t.Fatalf("resume: %v\nstderr: %s", err, stderr)
+	}
+	if !strings.Contains(stderr, "resuming: 4 of 6 cells journaled") {
+		t.Errorf("stderr = %q, want the 4 surviving column members journaled", stderr)
+	}
+	if got != want {
+		t.Errorf("CSV after mid-column kill and resume differs from clean run:\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestSweepMultisimStreamRetry checks transient stream faults reach
+// column units (streams are shared per column) and -retries clears them
+// without changing the CSV.
+func TestSweepMultisimStreamRetry(t *testing.T) {
+	args := []string{"-bench", "gcc", "-refs", "20000", "-sizes", "4096,8192",
+		"-policies", "dm,de", "-workers", "1", "-multisim=on"}
+
+	want, _, err := runSweep(t, args...)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if _, _, err := runSweep(t, append(args, "-inject", "stream-fail=1")...); err == nil {
+		t.Fatal("injected stream fault with no retries: want a non-zero exit")
+	}
+	got, _, err := runSweep(t, append(args, "-inject", "stream-fail=1", "-retries", "2")...)
+	if err != nil {
+		t.Fatalf("retries did not clear the fault under -multisim=on: %v", err)
+	}
+	if got != want {
+		t.Error("retried column CSV differs from clean run")
+	}
+}

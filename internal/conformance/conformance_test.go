@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -59,6 +60,48 @@ func TestBatchDifferential(t *testing.T) {
 		geom := geom
 		t.Run(geom.String(), func(t *testing.T) {
 			CheckBatchRegistry(t, geom, Options{Streams: 3})
+		})
+	}
+}
+
+// TestMultisimDifferential pins the single-pass column kernels
+// (internal/multisim, DESIGN.md §15) against per-cell simulation for
+// every registered policy spec across a power-of-two size column, at
+// one-word and multi-word line sizes — and asserts ineligible families
+// report themselves so, falling back to the per-cell path.
+func TestMultisimDifferential(t *testing.T) {
+	cases := []struct {
+		line  uint64
+		sizes []uint64
+	}{
+		{4, []uint64{1 << 11, 1 << 12, 1 << 13, 1 << 14}},
+		{16, []uint64{1 << 12, 1 << 13, 1 << 15}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("line=%d", c.line), func(t *testing.T) {
+			CheckMultisimRegistry(t, c.line, c.sizes, Options{Streams: 3})
+		})
+	}
+}
+
+// TestStackProperty asserts the Mattson inclusion property the LRU
+// column kernel rests on: on randomized conflict-heavy streams, every
+// hit at size S is a hit at size 2S (fixed line and ways), checked
+// reference by reference with independent per-cell simulators.
+func TestStackProperty(t *testing.T) {
+	cases := []struct {
+		line, size uint64
+		ways       int
+	}{
+		{4, 1 << 12, 1},
+		{4, 1 << 12, 2},
+		{16, 1 << 13, 4},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("line=%d/size=%d/ways=%d", c.line, c.size, c.ways), func(t *testing.T) {
+			CheckStackProperty(t, c.line, c.size, c.ways, Options{Streams: 3})
 		})
 	}
 }

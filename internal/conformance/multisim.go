@@ -1,0 +1,156 @@
+package conformance
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/policy"
+)
+
+// multisimVariants lists, per column-eligible family, the option
+// variants the column battery runs beyond the family's default spec —
+// the same axes the batch battery covers (stores, sticky depth, the §6
+// register, associativity), since the column kernels reimplement all of
+// them.
+var multisimVariants = map[string][]string{
+	"de":   {"de:sticky=3", "de:store=hashed*4", "de:cold=miss,lastline", "de:nolastline"},
+	"lru":  {"lru:ways=4", "lru:ways=1"},
+	"fifo": {"fifo:ways=4"},
+}
+
+// CheckMultisimRegistry is the column-kernel differential battery: for
+// every registered policy family it asks policy.Spec.Column for a
+// column kernel over the size column and either (a) drives the kernel
+// through ragged chunk sizes and asserts each member's Stats and
+// Extras are bit-identical to simulating that (size, line, policy)
+// cell on its own, or (b) — for families with no kernel — asserts the
+// spec reports itself column-ineligible, so it falls back to the
+// per-cell path rather than silently computing something else. A
+// family added to internal/policy is therefore either column-verified
+// or fallback-verified with no test changes.
+func CheckMultisimRegistry(t *testing.T, line uint64, sizes []uint64, opts Options) {
+	t.Helper()
+	if opts.Streams == 0 {
+		opts.Streams = 4
+	}
+	if opts.Refs == 0 {
+		opts.Refs = 6000
+	}
+	for _, f := range policy.Families() {
+		for _, specStr := range append([]string{f.Name}, multisimVariants[f.Name]...) {
+			sp, err := policy.Parse(specStr)
+			if err != nil {
+				t.Errorf("variant %q does not parse: %v", specStr, err)
+				continue
+			}
+			newCol, ok := sp.Column(line, sizes)
+			if !ok {
+				switch f.Name {
+				case "dm", "de", "lru", "fifo":
+					t.Errorf("spec %q should be column-eligible at line %d sizes %v", specStr, line, sizes)
+				}
+				continue
+			}
+			t.Run(specStr, func(t *testing.T) { checkColumnSpec(t, sp, newCol, line, sizes, opts) })
+		}
+	}
+	// Ineligible geometry: a non-power-of-two set count must refuse the
+	// column (the per-cell path owns the error reporting).
+	if sp, err := policy.Parse("lru:ways=4"); err == nil {
+		if _, ok := sp.Column(line, []uint64{sizes[0], sizes[0] * 3}); ok {
+			t.Error("lru column accepted a non-power-of-two member size")
+		}
+	}
+}
+
+// checkColumnSpec drives one column kernel and compares every member
+// against its own per-cell simulation, ragged chunking included.
+func checkColumnSpec(t *testing.T, sp policy.Spec, newCol func() (engine.Column, error), line uint64, sizes []uint64, opts Options) {
+	t.Helper()
+	chunks := []int{1, 7, 501, 4096}
+	for seed := int64(1); seed <= int64(opts.Streams); seed++ {
+		refs := refStream(seed, opts.Refs)
+
+		col, err := newCol()
+		if err != nil {
+			t.Fatalf("column constructor: %v", err)
+		}
+		rest := refs
+		for ci := 0; len(rest) > 0; ci++ {
+			n := chunks[ci%len(chunks)]
+			if n > len(rest) {
+				n = len(rest)
+			}
+			col.Batch(rest[:n])
+			rest = rest[n:]
+		}
+		outs := col.Outcomes()
+		if len(outs) != len(sizes) {
+			t.Fatalf("seed %d: %d outcomes for %d sizes", seed, len(outs), len(sizes))
+		}
+
+		for k, size := range sizes {
+			geom := cache.DM(size, line)
+			sim, err := sp.Build(geom)
+			if err != nil {
+				t.Fatalf("seed %d size %d: per-cell build: %v", seed, size, err)
+			}
+			for i := range refs {
+				sim.Access(refs[i].Addr)
+			}
+			if got, want := outs[k].Stats, sim.Stats(); got != want {
+				t.Errorf("seed %d size %d: column %+v != per-cell %+v", seed, size, got, want)
+			}
+			diffExtras(t, seed, cache.SnapshotExtras(sim), outs[k].Extras)
+		}
+	}
+}
+
+// CheckStackProperty asserts LRU inclusion across power-of-two sizes on
+// randomized streams, reference by reference: at a fixed line size and
+// way count, every hit at size S is a hit at size 2S. This is the
+// property the LRU column kernel's shared stack walk is built on (a
+// finer set mask only removes entries from the distance count), so the
+// battery checks the foundation independently of the kernel itself —
+// with plain per-cell simulators on both sides.
+func CheckStackProperty(t *testing.T, line uint64, size uint64, ways int, opts Options) {
+	t.Helper()
+	if opts.Streams == 0 {
+		opts.Streams = 4
+	}
+	if opts.Refs == 0 {
+		opts.Refs = 6000
+	}
+	spec := "lru:ways=" + strconv.Itoa(ways)
+	sp, err := policy.Parse(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	small, err := sp.Build(cache.DM(size, line))
+	if err != nil {
+		t.Fatalf("build small: %v", err)
+	}
+	big, err := sp.Build(cache.DM(size*2, line))
+	if err != nil {
+		t.Fatalf("build big: %v", err)
+	}
+	for seed := int64(1); seed <= int64(opts.Streams); seed++ {
+		refs := refStream(seed, opts.Refs)
+		for i := range refs {
+			rs := small.Access(refs[i].Addr)
+			rb := big.Access(refs[i].Addr)
+			if rs == cache.Hit && rb != cache.Hit {
+				t.Fatalf("seed %d ref %d (addr %#x): hit at %d bytes but %v at %d bytes — stack property violated",
+					seed, i, refs[i].Addr, size, rb, size*2)
+			}
+		}
+	}
+	// The subset must be proper on a conflict-heavy stream, or the
+	// assertion above is vacuous.
+	if small.Stats().Hits >= big.Stats().Hits {
+		t.Errorf("small cache hits (%d) not below big cache hits (%d); streams are not exercising capacity",
+			small.Stats().Hits, big.Stats().Hits)
+	}
+}

@@ -158,48 +158,9 @@ func parfor(n, workers int, body func(i int)) {
 // returned slice always has len(cells) entries; inspect Result.Err per
 // cell. The returned error is ctx's error if the run was cancelled
 // mid-sweep, nil otherwise (per-cell failures do not abort the run).
+// Run is RunGrouped with no column units: every cell is its own unit.
 func Run(ctx context.Context, cells []Cell, opts Options) ([]Result, error) {
-	results := make([]Result, len(cells))
-	if len(cells) == 0 {
-		return results, ctx.Err()
-	}
-	var (
-		done       atomic.Int64
-		progressMu sync.Mutex
-		runStart   = time.Now()
-	)
-	parfor(len(cells), clampWorkers(opts.Workers, len(cells)), func(i int) {
-		if err := ctx.Err(); err != nil {
-			results[i] = Result{Label: cells[i].Label, Err: err}
-			return
-		}
-		var queueWait time.Duration
-		if opts.Collector != nil {
-			queueWait = time.Since(runStart)
-			opts.Collector.CellStarted(CellStart{Index: i, Label: cells[i].Label, QueueWait: queueWait})
-		}
-		results[i] = runCell(ctx, i, cells[i], opts)
-		if opts.Collector != nil {
-			r := results[i]
-			opts.Collector.CellFinished(CellFinish{
-				Index: i, Label: r.Label, QueueWait: queueWait, Wall: r.Wall,
-				Attempts: r.Attempts, Refs: r.Stats.Accesses,
-				Outcome: OutcomeOf(r.Err), Err: r.Err, Extras: r.Extras,
-			})
-		}
-		d := int(done.Add(1))
-		if opts.Progress != nil || opts.OnResult != nil {
-			progressMu.Lock()
-			if opts.OnResult != nil {
-				opts.OnResult(i, results[i])
-			}
-			if opts.Progress != nil {
-				opts.Progress(d, len(cells))
-			}
-			progressMu.Unlock()
-		}
-	})
-	return results, ctx.Err()
+	return RunGrouped(ctx, cells, nil, opts)
 }
 
 // runCell executes one cell, re-running transiently failing attempts per

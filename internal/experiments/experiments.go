@@ -41,6 +41,12 @@ type Config struct {
 	// threads its telemetry collector through here). Purely
 	// observational; see internal/engine's Collector.
 	Collector engine.Collector
+	// Multisim selects the single-pass size-column fast path for the
+	// sweep figures (DESIGN.md §15): "auto" (default) and "on" run each
+	// (benchmark, policy) size column as one multisim kernel pass,
+	// "off" keeps every cell on the per-cell path. Figure output is
+	// identical either way (golden_small.txt pins it).
+	Multisim string
 	// Ctx, when non-nil, cancels the simulation engine mid-experiment:
 	// workers stop picking up cells and running cells stop at the next
 	// chunk boundary (cmd/dynex-experiments threads its signal context
@@ -56,6 +62,8 @@ func (c Config) refs() int {
 	}
 	return c.Refs
 }
+
+func (c Config) columns() bool { return c.Multisim != "off" }
 
 func (c Config) workers() int {
 	if c.Workers <= 0 {
@@ -268,8 +276,9 @@ func suiteRates(w *Workloads, kind kindOf, rate func(refs []trace.Ref) float64) 
 
 // sweepPolicies is the cell layout of sweepAverages: the three simulated
 // policies of the single-level figures, in column order, built from
-// registry specs.
-func sweepPolicies(lastLine bool) []engine.Cell {
+// registry specs. The specs come back alongside the prototype cells so
+// the sweep can ask each one for a multisim column kernel.
+func sweepPolicies(lastLine bool) ([]engine.Cell, []policy.Spec) {
 	specs := []struct {
 		label string
 		spec  policy.Spec
@@ -279,12 +288,14 @@ func sweepPolicies(lastLine bool) []engine.Cell {
 		{"opt", policy.MustParse("opt").WithLastLine(lastLine)},
 	}
 	cells := make([]engine.Cell, len(specs))
+	sps := make([]policy.Spec, len(specs))
 	for i, s := range specs {
 		c := s.spec.Cell()
 		c.Label = s.label
 		cells[i] = c
+		sps[i] = s.spec
 	}
-	return cells
+	return cells, sps
 }
 
 // sweepAverages computes suite-average miss-rate curves for the three
@@ -296,7 +307,7 @@ func sweepPolicies(lastLine bool) []engine.Cell {
 func sweepAverages(w *Workloads, kind kindOf, sizes []uint64, lineSize uint64, lastLine bool) (dm, de, op metrics.Series) {
 	dm.Name, de.Name, op.Name = "direct-mapped", "dynamic exclusion", "optimal direct-mapped"
 	names := w.Names()
-	pols := sweepPolicies(lastLine)
+	pols, polSpecs := sweepPolicies(lastLine)
 
 	// Cells laid out size-major, then benchmark, then policy.
 	cells := make([]engine.Cell, 0, len(sizes)*len(names)*len(pols))
@@ -314,7 +325,28 @@ func sweepAverages(w *Workloads, kind kindOf, sizes []uint64, lineSize uint64, l
 			}
 		}
 	}
-	results, err := engine.Run(w.cfg.ctx(), cells, engine.Options{
+	// Column units (DESIGN.md §15): each (benchmark, policy) pair's size
+	// column runs as one multisim kernel pass when the policy is
+	// eligible (dm and de here; opt needs the whole stream per geometry
+	// and stays per-cell). The figure numbers are identical either way.
+	var groups []engine.Group
+	if w.cfg.columns() && len(sizes) >= 2 {
+		stride := len(names) * len(pols)
+		for p, sp := range polSpecs {
+			newCol, ok := sp.Column(lineSize, sizes)
+			if !ok {
+				continue
+			}
+			for bi := range names {
+				idx := make([]int, len(sizes))
+				for si := range sizes {
+					idx[si] = si*stride + bi*len(pols) + p
+				}
+				groups = append(groups, engine.Group{Indices: idx, NewColumn: newCol})
+			}
+		}
+	}
+	results, err := engine.RunGrouped(w.cfg.ctx(), cells, groups, engine.Options{
 		Workers:   w.cfg.workers(),
 		Collector: w.cfg.Collector,
 	})

@@ -1,0 +1,133 @@
+package multisim
+
+import (
+	"math/bits"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// FIFO is the first-in-first-out size column at a fixed way count.
+// FIFO has no inclusion property (insertion order, not recency, picks
+// victims), so every member carries full state; the kernel shares the
+// block decode and the access clock. The clock is shared safely because
+// every member sees every reference: per-cell simulations would tick
+// identical clocks.
+type FIFO struct {
+	lineShift int
+	ways      int
+	clock     uint64
+	members   []fifoMember
+	order     []int
+	accesses  uint64
+}
+
+type fifoMember struct {
+	setMask uint64
+	// Way state is flat (set-major, ways contiguous), matching the
+	// cache.SetAssoc batch kernel layout.
+	tags   []uint64
+	valid  []bool
+	stamp  []uint64
+	hits   uint64
+	fills  uint64
+	evicts uint64
+}
+
+// NewFIFO builds a FIFO column over the given sizes (any order,
+// duplicates allowed); Outcomes reports in the same order.
+func NewFIFO(line uint64, sizes []uint64, ways int) (*FIFO, error) {
+	if err := Validate(line, sizes, ways); err != nil {
+		return nil, err
+	}
+	c := &FIFO{
+		lineShift: bits.TrailingZeros64(line),
+		ways:      ways,
+		members:   make([]fifoMember, len(sizes)),
+		order:     ascendingSizes(sizes),
+	}
+	for k, oi := range c.order {
+		nsets := sizes[oi] / (line * uint64(ways))
+		nways := nsets * uint64(ways)
+		c.members[k] = fifoMember{
+			setMask: nsets - 1,
+			tags:    make([]uint64, nways),
+			valid:   make([]bool, nways),
+			stamp:   make([]uint64, nways),
+		}
+	}
+	return c, nil
+}
+
+// Batch advances every member over the chunk, mirroring
+// cache.SetAssoc's FIFO semantics: the clock ticks once per access
+// (hits included), a hit touches nothing, and a miss fills the first
+// invalid way or evicts the minimum-stamp way, stamping the fill with
+// the current clock. Victim scan order matches SetAssoc's way order.
+//
+//dynexcheck:hot
+func (c *FIFO) Batch(refs []trace.Ref) {
+	members := c.members
+	shift := c.lineShift
+	ways := c.ways
+	clock := c.clock
+	for i := range refs {
+		clock++
+		block := refs[i].Addr >> shift
+		for k := range members {
+			m := &members[k]
+			base := int(block&m.setMask) * ways
+			hit := false
+			for w := base; w < base+ways; w++ {
+				if m.valid[w] && m.tags[w] == block {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				m.hits++
+				continue
+			}
+			victim := -1
+			for w := base; w < base+ways; w++ {
+				if !m.valid[w] {
+					victim = w
+					break
+				}
+			}
+			if victim < 0 {
+				victim = base
+				for w := base + 1; w < base+ways; w++ {
+					if m.stamp[w] < m.stamp[victim] {
+						victim = w
+					}
+				}
+				m.evicts++
+			}
+			m.tags[victim] = block
+			m.valid[victim] = true
+			m.stamp[victim] = clock
+			m.fills++
+		}
+	}
+	c.clock = clock
+	c.accesses += uint64(len(refs))
+}
+
+// Outcomes returns cumulative per-member stats in constructor size
+// order. Set-associative caches never bypass: misses equal fills.
+func (c *FIFO) Outcomes() []engine.ColumnOutcome {
+	outs := make([]engine.ColumnOutcome, len(c.members))
+	for k := range c.members {
+		m := &c.members[k]
+		outs[c.order[k]] = engine.ColumnOutcome{Stats: cache.Stats{
+			Accesses:  c.accesses,
+			Hits:      m.hits,
+			Misses:    m.fills,
+			Fills:     m.fills,
+			Evictions: m.evicts,
+		}}
+	}
+	return outs
+}

@@ -795,3 +795,68 @@ func waitAllTerminal(t *testing.T, url string, timeout time.Duration) {
 	}
 	t.Fatal("jobs did not reach terminal states in time")
 }
+
+// TestServeMultisimModes pins the job runner's column partitioning: the
+// same power-of-two sweep job produces byte-identical CSV whether the
+// server runs column kernels (the default) or is forced per-cell with
+// Multisim "off", and both match the direct engine ground truth.
+func TestServeMultisimModes(t *testing.T) {
+	js := JobSpec{
+		Benches:  []string{"gcc"},
+		Kind:     "instr",
+		Refs:     4000,
+		Sizes:    []uint64{1024, 2048, 4096, 8192},
+		Lines:    []uint64{4, 16},
+		Policies: []string{"dm", "de", "lru", "fifo", "de:store=hashed*4"},
+	}
+	csvs := map[string][]byte{}
+	var want []byte
+	for _, mode := range []string{"auto", "off"} {
+		cfg := testConfig(t.TempDir())
+		cfg.Multisim = mode
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); _ = s.Run(ctx) }()
+		ts := httptest.NewServer(s.Handler())
+
+		id, code := postJob(t, ts.URL, "alice", js)
+		if code != http.StatusAccepted {
+			t.Fatalf("mode %s: status %d", mode, code)
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		var stt Status
+		for time.Now().Before(deadline) {
+			getJSON(t, ts.URL+"/v1/jobs/"+id, &stt)
+			if terminal(stt.State) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if stt.State != StateDone {
+			t.Fatalf("mode %s: job state %s, err %q", mode, stt.State, stt.Error)
+		}
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		csvs[mode] = body
+		if want == nil {
+			want = directCSV(t, cfg, s.st, js)
+		}
+		ts.Close()
+		cancel()
+		<-done
+	}
+	if !bytes.Equal(csvs["auto"], csvs["off"]) {
+		t.Errorf("column-mode CSV differs from per-cell CSV:\n--- auto\n%s--- off\n%s", csvs["auto"], csvs["off"])
+	}
+	if !bytes.Equal(csvs["auto"], want) {
+		t.Errorf("served CSV differs from direct engine run:\n--- got\n%s--- want\n%s", csvs["auto"], want)
+	}
+}
